@@ -1,0 +1,39 @@
+"""Ablation A4 — fractional read/write tokens (paper §VI).
+
+A read-mostly (95% reads) cross-site workload under the three read modes:
+
+* ``local``       — the paper's default causal reads: fastest, weakest;
+* ``forward``     — every read serialized at the hub: strong, ~1 WAN RTT;
+* ``fractional``  — §VI read tokens: strong reads whose WAN cost is
+  amortized across repeated reads via leases.
+"""
+
+from repro.experiments.ablations import run_ablation_read_modes
+from repro.experiments.common import format_table
+
+from _helpers import once, save_table
+
+
+def test_ablation_fractional_read_tokens(benchmark):
+    cells = once(
+        benchmark,
+        lambda: run_ablation_read_modes(
+            record_count=100, operations_per_client=1500, write_fraction=0.05
+        ),
+    )
+
+    save_table(
+        "ablation_fractional",
+        format_table(
+            ["read mode", "read mean ms", "total ops/s"],
+            [[c.mode, c.read_mean_ms, c.total_throughput] for c in cells],
+            title="A4: read modes on a 95%-read cross-site workload",
+        ),
+    )
+
+    by = {c.mode: c for c in cells}
+    # Causal local reads are (of course) the fastest.
+    assert by["local"].read_mean_ms < 2.0
+    # Fractional tokens beat naive forwarding on both metrics.
+    assert by["fractional"].read_mean_ms < 0.8 * by["forward"].read_mean_ms
+    assert by["fractional"].total_throughput > by["forward"].total_throughput

@@ -1,0 +1,36 @@
+"""Ablation A5 — level-2 (hub) placement (paper §I tuning knob).
+
+A California-heavy workload (two CA clients, one FR client) measured with
+the level-2 broker in each region: placing the hub where the traffic is
+minimizes the remote-serialization WAN cost ("changing the primary site
+assignment for coordination metadata").
+"""
+
+from repro.experiments.ablations import run_ablation_hub_placement
+from repro.experiments.common import format_table
+
+from _helpers import once, save_table
+
+
+def test_ablation_hub_placement(benchmark):
+    cells = once(
+        benchmark,
+        lambda: run_ablation_hub_placement(
+            record_count=200, operations_per_client=1000
+        ),
+    )
+
+    save_table(
+        "ablation_hub_placement",
+        format_table(
+            ["l2 site", "total ops/s", "write mean ms"],
+            [[c.l2_site, c.total_throughput, c.write_mean_ms] for c in cells],
+            title="A5: hub placement for a California-heavy workload "
+            "(2 CA clients + 1 FR client)",
+        ),
+    )
+
+    by = {c.l2_site: c for c in cells}
+    # The hub belongs where the traffic is.
+    assert by["california"].total_throughput > by["virginia"].total_throughput
+    assert by["california"].total_throughput > by["frankfurt"].total_throughput

@@ -1,0 +1,32 @@
+"""Ablation A2 — Markov token prediction (paper §II-B).
+
+A phase-shifting workload (site locality alternates between California and
+Frankfurt over a small hot key set). The Markov model, trained on the
+broker's full access log, migrates tokens on the *first* access of a new
+phase instead of waiting for the consecutive-r streak.
+"""
+
+from repro.experiments.ablations import run_ablation_prediction
+from repro.experiments.common import format_table
+
+from _helpers import once, save_table
+
+
+def test_ablation_markov_prediction(benchmark):
+    cells = once(benchmark, lambda: run_ablation_prediction(phases=6))
+
+    save_table(
+        "ablation_markov",
+        format_table(
+            ["policy", "ops/s", "write mean ms"],
+            [[c.policy, c.total_throughput, c.write_mean_ms] for c in cells],
+            title="A2: reactive (consecutive-r) vs proactive (Markov) "
+            "migration on a phase-shifting workload",
+        ),
+    )
+
+    by = {c.policy: c for c in cells}
+    reactive = by["consecutive(r=2)"]
+    proactive = by["markov(r=2,t=0.6)"]
+    assert proactive.total_throughput > 1.05 * reactive.total_throughput
+    assert proactive.write_mean_ms < reactive.write_mean_ms

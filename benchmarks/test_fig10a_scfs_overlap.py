@@ -1,0 +1,59 @@
+"""Fig. 10a — SCFS metadata updates, two sites, no hotspot.
+
+Paper claims: with small overlap (<=10%) WanKeeper far outperforms
+ZooKeeper-with-observers (tokens migrate; ~90% local operations); with
+large overlap (>=50%) WanKeeper's advantage shrinks toward the ZKO level
+(tokens stay at level-2, operations pay ~1 WAN RTT).
+"""
+
+from repro.experiments.common import format_table
+from repro.experiments.fig10 import run_fig10a
+
+from _helpers import once, save_table
+
+OVERLAPS = (0.1, 0.5, 0.8)
+SYSTEMS = ("zk_observer", "wk")
+
+
+def test_fig10a_scfs_overlap(benchmark):
+    results = once(
+        benchmark,
+        lambda: run_fig10a(
+            overlaps=OVERLAPS,
+            systems=SYSTEMS,
+            record_count=400,
+            operations_per_client=2500,
+        ),
+    )
+
+    rows = []
+    for index, overlap in enumerate(OVERLAPS):
+        for system in SYSTEMS:
+            cell = results[system][index]
+            rows.append(
+                [
+                    f"{overlap:.0%}",
+                    system,
+                    cell.total_throughput,
+                    cell.per_site_latency_ms["california"],
+                    cell.per_site_latency_ms["frankfurt"],
+                ]
+            )
+    save_table(
+        "fig10a",
+        format_table(
+            ["overlap", "system", "total ops/s", "CA lat ms", "FR lat ms"],
+            rows,
+            title="Fig 10a: SCFS metadata updates, no hotspot",
+        ),
+    )
+
+    wk = [cell.total_throughput for cell in results["wk"]]
+    zko = [cell.total_throughput for cell in results["zk_observer"]]
+    # Low overlap: WanKeeper multiple times better.
+    assert wk[0] > 2.0 * zko[0]
+    # High overlap: advantage shrinks (ratio declines monotonically).
+    ratios = [w / z for w, z in zip(wk, zko)]
+    assert ratios[0] > ratios[1] > ratios[2]
+    # ZKO itself is insensitive to overlap.
+    assert max(zko) < 1.15 * min(zko)

@@ -1,0 +1,58 @@
+"""Fig. 4a — YCSB throughput vs write ratio (single California client).
+
+Paper claims: WanKeeper ~10x ZooKeeper at 50% writes, ~3x at 5% writes,
+and slightly *below* ZooKeeper at 100% reads (marshalling overhead).
+We assert the conservative versions of those shapes.
+"""
+
+from repro.experiments.common import format_table
+from repro.experiments.fig4 import run_fig4
+
+from _helpers import once, save_table
+
+WRITE_FRACTIONS = (0.0, 0.05, 0.25, 0.5)
+SYSTEMS = ("zk", "zk_observer", "wk")
+
+
+def test_fig4a_write_ratio_throughput(benchmark):
+    results = once(
+        benchmark,
+        lambda: run_fig4(
+            write_fractions=WRITE_FRACTIONS,
+            systems=SYSTEMS,
+            record_count=1000,
+            operation_count=10000,
+        ),
+    )
+
+    rows = []
+    for fraction_index, fraction in enumerate(WRITE_FRACTIONS):
+        row = [f"{fraction:.0%}"]
+        for system in SYSTEMS:
+            row.append(results[system][fraction_index].throughput)
+        rows.append(row)
+    save_table(
+        "fig4a",
+        format_table(
+            ["write%"] + list(SYSTEMS),
+            rows,
+            title="Fig 4a: YCSB throughput (ops/sec) vs write ratio",
+        ),
+    )
+
+    by = {
+        (system, cell.write_fraction): cell.throughput
+        for system in SYSTEMS
+        for cell in results[system]
+    }
+    # 50% writes: paper reports 10x over plain ZK; assert a strong multiple.
+    assert by[("wk", 0.5)] > 3.0 * by[("zk", 0.5)]
+    # 5% writes: paper reports 3x; assert at least 1.5x.
+    assert by[("wk", 0.05)] > 1.5 * by[("zk", 0.05)]
+    # Observers help ZooKeeper but stay below WanKeeper on writes.
+    assert by[("zk_observer", 0.5)] > by[("zk", 0.5)]
+    assert by[("wk", 0.5)] > by[("zk_observer", 0.5)]
+    # 100% reads: everyone serves locally; WanKeeper *slightly* below ZK
+    # (marshalling overhead, paper §IV-A) but within 15%.
+    assert by[("wk", 0.0)] > 0.85 * by[("zk", 0.0)]
+    assert by[("wk", 0.0)] < by[("zk", 0.0)]

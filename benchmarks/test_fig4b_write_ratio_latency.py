@@ -1,0 +1,63 @@
+"""Fig. 4b — average read/write latency vs write ratio.
+
+Paper claims: WanKeeper write latency far below both ZooKeeper variants
+(and decreasing with more writes, as more tokens migrate); read latencies
+essentially equal across systems (WanKeeper within a fraction of a ms).
+"""
+
+from repro.experiments.common import format_table
+from repro.experiments.fig4 import run_fig4
+
+from _helpers import once, save_table
+
+WRITE_FRACTIONS = (0.05, 0.25, 0.5)
+SYSTEMS = ("zk", "zk_observer", "wk")
+
+
+def test_fig4b_write_ratio_latency(benchmark):
+    results = once(
+        benchmark,
+        lambda: run_fig4(
+            write_fractions=WRITE_FRACTIONS,
+            systems=SYSTEMS,
+            record_count=1000,
+            operation_count=4000,
+        ),
+    )
+
+    rows = []
+    for index, fraction in enumerate(WRITE_FRACTIONS):
+        for system in SYSTEMS:
+            cell = results[system][index]
+            rows.append(
+                [
+                    f"{fraction:.0%}",
+                    system,
+                    cell.read_mean_ms,
+                    cell.write_mean_ms,
+                    cell.write_p99_ms,
+                ]
+            )
+    save_table(
+        "fig4b",
+        format_table(
+            ["write%", "system", "read mean ms", "write mean ms", "write p99 ms"],
+            rows,
+            title="Fig 4b: per-operation latency vs write ratio",
+        ),
+    )
+
+    for index in range(len(WRITE_FRACTIONS)):
+        zk = results["zk"][index]
+        zko = results["zk_observer"][index]
+        wk = results["wk"][index]
+        # Write latency: WK << ZKO < ZK.
+        assert wk.write_mean_ms < 0.7 * zko.write_mean_ms
+        assert zko.write_mean_ms < zk.write_mean_ms
+        # Read latency effectively equal (within 1 ms).
+        assert abs(wk.read_mean_ms - zk.read_mean_ms) < 1.0
+
+    # Paper: WK average write latency *decreases* as write ratio grows
+    # (more writes -> more token migration -> more local commits).
+    wk_write_means = [cell.write_mean_ms for cell in results["wk"]]
+    assert wk_write_means[-1] < wk_write_means[0]

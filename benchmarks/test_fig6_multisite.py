@@ -1,0 +1,51 @@
+"""Fig. 6 — two-site throughput on disjoint partitions (50% writes).
+
+Paper claims: observers double plain ZooKeeper's throughput (writes drop
+from 2 RTT to 1 RTT); WanKeeper beats both by committing writes locally;
+WK-hot beats WK-cold (no migration warm-up).
+"""
+
+from repro.experiments.common import format_table
+from repro.experiments.fig6 import run_fig6
+
+from _helpers import once, save_table
+
+SETUPS = ("zk", "zk_observer", "wk", "wk_hot")
+
+
+def test_fig6_multisite_throughput(benchmark):
+    results = once(
+        benchmark,
+        lambda: run_fig6(
+            setups=SETUPS, record_count=1000, operations_per_client=4000
+        ),
+    )
+
+    rows = [
+        [
+            setup,
+            result.total_throughput,
+            result.per_site_throughput["california"],
+            result.per_site_throughput["frankfurt"],
+            result.write_mean_ms,
+        ]
+        for setup, result in results.items()
+    ]
+    save_table(
+        "fig6",
+        format_table(
+            ["setup", "total ops/s", "california", "frankfurt", "write ms"],
+            rows,
+            title="Fig 6: two-site throughput, disjoint access, 50% writes",
+        ),
+    )
+
+    zk = results["zk"].total_throughput
+    zko = results["zk_observer"].total_throughput
+    cold = results["wk"].total_throughput
+    hot = results["wk_hot"].total_throughput
+    # Observers ~double plain ZK (paper: "doubles the throughput").
+    assert 1.5 * zk < zko < 2.6 * zk
+    # WanKeeper above both baselines; hot above cold.
+    assert cold > zko
+    assert hot > cold

@@ -1,0 +1,127 @@
+"""Micro-benchmarks of the substrates: Zab commit behaviour, message
+complexity, and the coordination primitives' base costs.
+
+Not from the paper's evaluation, but the numbers every figure rests on:
+local quorum commits cost ~1 local RTT; a WAN voter drags the quorum to a
+WAN RTT; commit message complexity is linear in ensemble size.
+"""
+
+from repro.net import CALIFORNIA, FRANKFURT, VIRGINIA, Network, wan_topology
+from repro.sim import Environment, seeded_rng
+from repro.zab import EnsembleConfig, ZabPeer
+
+from _helpers import once, save_table
+from repro.experiments.common import format_table
+
+
+def run_zab_micro(voter_counts=(1, 3, 5, 7), commits=200):
+    """Commit latency + messages/commit for local ensembles of each size."""
+    rows = []
+    for count in voter_counts:
+        env = Environment()
+        topo = wan_topology()
+        net = Network(env, topo, rng=seeded_rng(1, "net"))
+        voters = [topo.site(VIRGINIA).address(f"p{i}.zab") for i in range(count)]
+        config = EnsembleConfig(voters=voters)
+        peers = [ZabPeer(env, net, addr, config) for addr in voters]
+        for peer in peers:
+            peer.start()
+        env.run(until=2000.0)
+        leader = next(p for p in peers if p.is_leader)
+        committed = {"t": None, "n": 0}
+
+        def on_commit(zxid, txn, committed=committed):
+            committed["n"] += 1
+            committed["t"] = env.now
+
+        leader.on_commit = on_commit
+        messages_before = net.messages_sent
+        start = env.now
+
+        def pump():
+            for i in range(commits):
+                leader.submit(f"m{i}")
+                yield env.timeout(1.0)
+
+        env.process(pump())
+        env.run(until=start + commits * 1.0 + 2000.0)
+        assert committed["n"] == commits
+        elapsed = committed["t"] - start
+        messages = net.messages_sent - messages_before
+        rows.append(
+            [
+                count,
+                elapsed / commits,  # ms per commit (pipelined)
+                messages / commits,
+                config.quorum_size,
+            ]
+        )
+    return rows
+
+
+def run_wan_quorum_penalty():
+    """Commit latency with an all-local vs WAN-spanning quorum."""
+    rows = []
+    for label, sites in (
+        ("3 local voters", (VIRGINIA,) * 3),
+        ("voters in 3 regions", (VIRGINIA, CALIFORNIA, FRANKFURT)),
+    ):
+        env = Environment()
+        topo = wan_topology()
+        net = Network(env, topo, rng=seeded_rng(2, "net"))
+        voters = [
+            topo.site(site).address(f"q{i}.zab") for i, site in enumerate(sites)
+        ]
+        # Ensure the Virginia voter wins the election in both setups.
+        config = EnsembleConfig(voters=voters)
+        peers = [ZabPeer(env, net, addr, config) for addr in voters]
+        for peer in peers:
+            peer.start()
+        env.run(until=5000.0)
+        leader = next(p for p in peers if p.is_leader)
+        done = {}
+        leader.on_commit = lambda zxid, txn: done.setdefault("t", env.now)
+        start = env.now
+        leader.submit("probe")
+        env.run(until=start + 2000.0)
+        rows.append([label, done["t"] - start])
+    return rows
+
+
+def test_micro_zab_commit_scaling(benchmark):
+    rows = once(benchmark, lambda: run_zab_micro())
+    save_table(
+        "micro_zab",
+        format_table(
+            ["voters", "ms/commit", "msgs/commit", "quorum"],
+            rows,
+            title="Zab micro: pipelined commit cost vs ensemble size "
+            "(single site)",
+        ),
+    )
+    latencies = [row[1] for row in rows]
+    messages = [row[2] for row in rows]
+    # Pipelined local commits stay around a millisecond at every size.
+    assert all(latency < 5.0 for latency in latencies)
+    # Message complexity grows with ensemble size (propose+ack+commit per
+    # follower), monotonically.
+    assert messages == sorted(messages)
+    assert messages[-1] > messages[0]
+
+
+def test_micro_wan_quorum_penalty(benchmark):
+    rows = once(benchmark, lambda: run_wan_quorum_penalty())
+    save_table(
+        "micro_wan_quorum",
+        format_table(
+            ["ensemble", "commit latency ms"],
+            rows,
+            title="Zab micro: local vs WAN-spanning commit quorum",
+        ),
+    )
+    local = rows[0][1]
+    wan = rows[1][1]
+    assert local < 5.0
+    # The WAN quorum needs an ack from California: >= 1 CA round trip.
+    assert wan >= 70.0 - 5.0
+    assert wan > 10 * local

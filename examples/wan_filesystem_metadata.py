@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""SCFS-style WAN file system metadata over WanKeeper (paper §IV-C).
+
+Two users — one in California, one in Frankfurt — share a cloud-backed
+file system whose metadata service is the coordination layer. File access
+locality makes each user's metadata updates site-local under WanKeeper.
+
+Run:  python examples/wan_filesystem_metadata.py
+"""
+
+from repro.net import CALIFORNIA, FRANKFURT, VIRGINIA, Network, wan_topology
+from repro.scfs import ScfsClient
+from repro.sim import Environment, seeded_rng
+from repro.wankeeper import build_wankeeper_deployment
+
+
+def main():
+    env = Environment()
+    topology = wan_topology()
+    net = Network(env, topology, rng=seeded_rng(11, "net"))
+    deployment = build_wankeeper_deployment(env, net, topology)
+    deployment.start()
+    deployment.stabilize()
+
+    alice = ScfsClient(env, deployment.client(CALIFORNIA), name="alice")
+    bob = ScfsClient(env, deployment.client(FRANKFURT), name="bob")
+
+    def app():
+        yield from alice.mount()
+        yield from bob.mount()
+        print("Mounted SCFS at California (alice) and Frankfurt (bob)\n")
+
+        # Alice works on her report: repeated metadata updates.
+        yield from alice.create_file("report.tex")
+        latencies = []
+        for revision in range(4):
+            start = env.now
+            yield from alice.write_file(
+                "report.tex", f"\\section{{Draft {revision}}}".encode()
+            )
+            latencies.append(env.now - start)
+        print("alice's successive saves of report.tex (ms):",
+              [f"{l:.1f}" for l in latencies])
+        print("  -> the file's token migrated to California after 2 accesses\n")
+
+        # Bob reads Alice's file (local metadata read + blob fetch).
+        yield env.timeout(1000.0)
+        content = yield from bob.read_file("report.tex")
+        print(f"bob reads report.tex in Frankfurt: {content.decode()!r}")
+
+        # Bob takes over editing; the token follows him.
+        for revision in range(2):
+            yield from bob.write_file("report.tex", b"\\section{Bob's edit}")
+        start = env.now
+        yield from bob.write_file("report.tex", b"\\section{Bob again}")
+        print(f"bob's third save: {env.now - start:.1f} ms (now local to "
+              f"Frankfurt)")
+
+        files = yield from bob.list_files()
+        print(f"\nshared directory listing: {files}")
+        return True
+
+    env.run(until=env.process(app()))
+    print("Done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Apache BookKeeper-style replicated log service (paper §IV-B use case).
+
+BookKeeper stores log segments (*ledgers*) on storage servers (*bookies*)
+and keeps ledger **metadata** — ensemble composition, quorum size, state,
+last entry — in the coordination service. The data path (entry appends to
+bookies) never touches coordination; the metadata path does, which is
+exactly why a centralized coordinator bottlenecks WAN writers and why
+swapping in WanKeeper restores locality (§IV-B).
+
+This package implements bookies, the ledger client, and the paper's
+geo-distributed *iterating writers* benchmark topology (Fig. 8a): writers
+take a coordination-service lock on a shared logical log, record their
+ledger in a shared metadata znode, append entries to their local bookies
+for a fixed duration, then hand the log over.
+"""
+
+from repro.bookkeeper.bookie import Bookie
+from repro.bookkeeper.client import (
+    BookKeeperClient,
+    LedgerFencedError,
+    LedgerHandle,
+)
+
+__all__ = ["Bookie", "BookKeeperClient", "LedgerFencedError", "LedgerHandle"]

@@ -1,0 +1,282 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Regenerates any of the paper's figures (or the ablations) from the shell
+and prints the result tables. ``--small`` runs a reduced configuration for
+a quick look; the full-size runs match the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments.common import format_table
+
+__all__ = ["main"]
+
+
+def _fig4(small: bool, seed: int) -> str:
+    from repro.experiments.fig4 import run_fig4
+
+    ops = 2000 if small else 10000
+    records = 300 if small else 1000
+    fractions = (0.0, 0.05, 0.25, 0.5)
+    results = run_fig4(
+        write_fractions=fractions,
+        seed=seed,
+        record_count=records,
+        operation_count=ops,
+    )
+    systems = list(results)
+    rows = []
+    for index, fraction in enumerate(fractions):
+        rows.append(
+            [f"{fraction:.0%}"]
+            + [results[system][index].throughput for system in systems]
+        )
+    latency_rows = []
+    for index, fraction in enumerate(fractions):
+        for system in systems:
+            cell = results[system][index]
+            latency_rows.append(
+                [f"{fraction:.0%}", system, cell.read_mean_ms or 0.0,
+                 cell.write_mean_ms or 0.0]
+            )
+    return (
+        format_table(["write%"] + systems, rows,
+                     title="Fig 4a: throughput (ops/sec)")
+        + "\n\n"
+        + format_table(
+            ["write%", "system", "read ms", "write ms"],
+            latency_rows,
+            title="Fig 4b: mean latency",
+        )
+    )
+
+
+def _fig5(small: bool, seed: int) -> str:
+    from repro.experiments.fig5 import run_fig5
+
+    results = run_fig5(
+        seed=seed,
+        record_count=200 if small else 600,
+        operation_count=1500 if small else 5000,
+    )
+    rows = [
+        [
+            system,
+            f"{fraction:.0%}",
+            result.local_fraction,
+            result.recorder.percentile_latency(50, "write"),
+            result.recorder.percentile_latency(90, "write"),
+        ]
+        for (system, fraction), result in sorted(results.items())
+    ]
+    return format_table(
+        ["system", "write%", "local frac", "p50 ms", "p90 ms"],
+        rows,
+        title="Fig 5: write-latency CDF summary",
+    )
+
+
+def _fig6(small: bool, seed: int) -> str:
+    from repro.experiments.fig6 import run_fig6
+
+    results = run_fig6(
+        seed=seed,
+        record_count=300 if small else 1000,
+        operations_per_client=1200 if small else 4000,
+    )
+    rows = [
+        [
+            setup,
+            result.total_throughput,
+            result.per_site_throughput["california"],
+            result.per_site_throughput["frankfurt"],
+            result.write_mean_ms,
+        ]
+        for setup, result in results.items()
+    ]
+    return format_table(
+        ["setup", "total ops/s", "CA", "FR", "write ms"],
+        rows,
+        title="Fig 6: two-site throughput, disjoint access",
+    )
+
+
+def _fig7(small: bool, seed: int) -> str:
+    from repro.experiments.fig7 import run_fig7
+
+    overlaps = (0.0, 0.5, 1.0)
+    results = run_fig7(
+        overlaps=overlaps,
+        seed=seed,
+        record_count=200 if small else 400,
+        operations_per_client=800 if small else 2500,
+    )
+    systems = list(results)
+    rows = [
+        [f"{overlap:.0%}"]
+        + [results[system][index].total_throughput for system in systems]
+        for index, overlap in enumerate(overlaps)
+    ]
+    return format_table(
+        ["overlap"] + systems, rows, title="Fig 7: contention sweep"
+    )
+
+
+def _fig8(small: bool, seed: int) -> str:
+    from repro.experiments.fig8 import run_fig8
+
+    durations = (200.0, 400.0, 1600.0)
+    results = run_fig8(
+        write_durations_ms=durations,
+        seed=seed,
+        total_duration_ms=10000.0 if small else 25000.0,
+    )
+    systems = list(results)
+    rows = [
+        [f"{duration/1000:.1f}s"]
+        + [results[system][index].entries_per_sec for system in systems]
+        for index, duration in enumerate(durations)
+    ]
+    return format_table(
+        ["duration"] + systems, rows, title="Fig 8b: BookKeeper entries/sec"
+    )
+
+
+def _fig10(small: bool, seed: int) -> str:
+    from repro.experiments.fig10 import run_fig10a, run_fig10b
+
+    overlaps = (0.1, 0.5, 0.8)
+    kwargs = dict(
+        overlaps=overlaps,
+        seed=seed,
+        record_count=200 if small else 400,
+        operations_per_client=800 if small else 2500,
+    )
+    parts = []
+    for title, run in (
+        ("Fig 10a: SCFS, no hotspot", run_fig10a),
+        ("Fig 10b: SCFS, 20% hotspot per site", run_fig10b),
+    ):
+        results = run(**kwargs)
+        rows = []
+        for index, overlap in enumerate(overlaps):
+            for system in results:
+                cell = results[system][index]
+                rows.append(
+                    [f"{overlap:.0%}", system, cell.total_throughput]
+                )
+        parts.append(
+            format_table(["overlap", "system", "ops/s"], rows, title=title)
+        )
+    return "\n\n".join(parts)
+
+
+def _ablations(small: bool, seed: int) -> str:
+    from repro.experiments.ablations import (
+        run_ablation_bulk_tokens,
+        run_ablation_migration_threshold,
+        run_ablation_prediction,
+        run_ablation_read_modes,
+    )
+
+    parts = []
+    cells = run_ablation_migration_threshold(
+        seed=seed,
+        record_count=150 if small else 300,
+        operations_per_client=600 if small else 1500,
+    )
+    parts.append(
+        format_table(
+            ["policy", "ops/s", "write ms", "recalls"],
+            [[c.label, c.total_throughput, c.write_mean_ms, c.tokens_recalled]
+             for c in cells],
+            title="A1: migration threshold r",
+        )
+    )
+    cells = run_ablation_prediction(seed=seed)
+    parts.append(
+        format_table(
+            ["policy", "ops/s", "write ms"],
+            [[c.policy, c.total_throughput, c.write_mean_ms] for c in cells],
+            title="A2: Markov prediction",
+        )
+    )
+    cells = run_ablation_bulk_tokens(seed=seed, rounds=15 if small else 25)
+    parts.append(
+        format_table(
+            ["policy", "acquisitions/s"],
+            [[c.label, c.acquisitions_per_sec] for c in cells],
+            title="A3: bulk sequential-znode tokens",
+        )
+    )
+    cells = run_ablation_read_modes(
+        seed=seed, operations_per_client=500 if small else 1500
+    )
+    parts.append(
+        format_table(
+            ["read mode", "read ms", "ops/s"],
+            [[c.mode, c.read_mean_ms, c.total_throughput] for c in cells],
+            title="A4: fractional read/write tokens",
+        )
+    )
+    from repro.experiments.ablations import run_ablation_hub_placement
+
+    cells = run_ablation_hub_placement(
+        seed=seed,
+        record_count=100 if small else 200,
+        operations_per_client=400 if small else 1000,
+    )
+    parts.append(
+        format_table(
+            ["l2 site", "ops/s", "write ms"],
+            [[c.l2_site, c.total_throughput, c.write_mean_ms] for c in cells],
+            title="A5: hub placement (CA-heavy workload)",
+        )
+    )
+    return "\n\n".join(parts)
+
+
+EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig10": _fig10,
+    "ablations": _ablations,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the WanKeeper paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--small", action="store_true", help="reduced size for a quick look"
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        print(f"== {name} (seed {args.seed}"
+              f"{', small' if args.small else ''}) ==")
+        print(EXPERIMENTS[name](args.small, args.seed))
+        print(f"[{time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Consistency checking for recorded operation histories.
+
+Verifies the guarantees the paper claims for WanKeeper (§II-D):
+
+* linearizability per client (FIFO client order) — :mod:`fifo`;
+* linearizability per object across the WAN — :mod:`linearizability`;
+* causal consistency across objects/sites — :mod:`causal`.
+
+Histories are recorded with :class:`HistoryRecorder` around client calls and
+checked offline after a run.
+"""
+
+from repro.consistency.causal import check_causal
+from repro.consistency.fifo import check_client_fifo, check_read_your_writes
+from repro.consistency.history import HistoryRecorder, Operation
+from repro.consistency.linearizability import (
+    check_linearizable_per_key,
+    check_linearizable_register,
+)
+
+__all__ = [
+    "HistoryRecorder",
+    "Operation",
+    "check_causal",
+    "check_client_fifo",
+    "check_linearizable_per_key",
+    "check_linearizable_register",
+    "check_read_your_writes",
+]

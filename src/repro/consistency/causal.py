@@ -1,0 +1,163 @@
+"""Causal-consistency checking.
+
+WanKeeper provides causal consistency for multiple objects across WAN sites
+(§II-D): all clients see operations in an order consistent with the
+causality relation — program order plus reads-from. The check on a recorded
+history is the standard two-part formulation:
+
+1. the causal order ``co`` — the transitive closure of program order and
+   reads-from — must be acyclic;
+2. no read may *miss* a causally known write: if a write ``W'`` on key
+   ``k`` causally precedes a read ``r`` of ``k``, then ``r`` must return
+   ``W'`` or a write newer than it in ``k``'s arbitration order.
+
+Writes to each key are assumed uniquely valued (our drivers tag values), so
+reads-from edges are unambiguous. The per-key arbitration order defaults to
+real-time write order — valid in these systems because writes to one key
+are serialized by a single token holder at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.consistency.history import HistoryRecorder, Operation
+
+__all__ = ["check_causal"]
+
+
+def check_causal(
+    history: HistoryRecorder,
+    key_write_orders: Optional[Dict[str, List[Any]]] = None,
+) -> List[str]:
+    """Check causal consistency; returns violation descriptions."""
+    violations: List[str] = []
+    ops = history.operations
+
+    writes_by_value: Dict[Tuple[str, Any], Operation] = {}
+    for op in ops:
+        if op.kind == "write":
+            if (op.key, op.value) in writes_by_value:
+                violations.append(f"duplicate write value {op.value!r} on {op.key}")
+            writes_by_value[(op.key, op.value)] = op
+
+    # --- causal edges: program order + reads-from -------------------------
+    successors: Dict[int, Set[int]] = {}
+
+    def add_edge(a: Operation, b: Operation) -> None:
+        if a.op_id != b.op_id:
+            successors.setdefault(a.op_id, set()).add(b.op_id)
+
+    for client in history.clients():
+        client_ops = history.for_client(client)
+        for previous, current in zip(client_ops, client_ops[1:]):
+            add_edge(previous, current)
+
+    for op in ops:
+        if op.kind != "read" or op.value is None:
+            continue
+        writer = writes_by_value.get((op.key, op.value))
+        if writer is None:
+            violations.append(
+                f"{op.client} read unwritten value {op.value!r} from {op.key}"
+            )
+            continue
+        add_edge(writer, op)
+
+    if _has_cycle(successors):
+        violations.append("cycle in program-order + reads-from")
+        return violations
+
+    # --- arbitration order per key ------------------------------------------
+    orders = key_write_orders or {}
+    arb_rank: Dict[Tuple[str, Any], int] = {}
+    by_key_writes: Dict[str, List[Operation]] = {}
+    for op in ops:
+        if op.kind == "write":
+            by_key_writes.setdefault(op.key, []).append(op)
+    for key, writes in by_key_writes.items():
+        if key in orders:
+            ranked = {value: i for i, value in enumerate(orders[key])}
+            ordered = sorted(
+                writes, key=lambda op: ranked.get(op.value, len(ranked))
+            )
+        else:
+            ordered = sorted(writes, key=lambda op: (op.invoked, op.op_id))
+        for rank, write in enumerate(ordered):
+            arb_rank[(key, write.value)] = rank
+
+    # --- reachability over co (small histories: per-node BFS) ----------------
+    reach = _reachability(successors)
+
+    # --- rule 2: reads must not miss causally-preceding newer writes ---------
+    by_id = {op.op_id: op for op in ops}
+    for read in ops:
+        if read.kind != "read":
+            continue
+        read_rank = (
+            -1
+            if read.value is None
+            else arb_rank.get((read.key, read.value), -1)
+        )
+        for write in by_key_writes.get(read.key, ()):
+            if read.op_id in reach.get(write.op_id, ()):  # write co-> read
+                write_rank = arb_rank[(write.key, write.value)]
+                if write_rank > read_rank:
+                    violations.append(
+                        f"{read.client} read {read.value!r} from {read.key} "
+                        f"(rank {read_rank}) but causally saw write "
+                        f"{write.value!r} (rank {write_rank})"
+                    )
+                    break
+    return violations
+
+
+def _has_cycle(successors: Dict[int, Set[int]]) -> bool:
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {}
+    nodes = set(successors)
+    for targets in successors.values():
+        nodes |= targets
+    for root in sorted(nodes):
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack: List[Tuple[int, List[int]]] = [
+            (root, sorted(successors.get(root, ())))
+        ]
+        color[root] = GRAY
+        while stack:
+            node, rest = stack[-1]
+            advanced = False
+            while rest:
+                target = rest.pop(0)
+                state = color.get(target, WHITE)
+                if state == GRAY:
+                    return True
+                if state == WHITE:
+                    color[target] = GRAY
+                    stack.append((target, sorted(successors.get(target, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return False
+
+
+def _reachability(successors: Dict[int, Set[int]]) -> Dict[int, Set[int]]:
+    """node -> set of nodes reachable from it (BFS per node)."""
+    nodes = set(successors)
+    for targets in successors.values():
+        nodes |= targets
+    reach: Dict[int, Set[int]] = {}
+    for start in nodes:
+        seen: Set[int] = set()
+        frontier = list(successors.get(start, ()))
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(successors.get(node, ()))
+        reach[start] = seen
+    return reach

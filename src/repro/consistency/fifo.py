@@ -1,0 +1,58 @@
+"""Per-client ordering guarantees.
+
+ZooKeeper (and WanKeeper) guarantee FIFO execution of a client's own
+requests: the client's operations take effect in issue order, and in
+particular a client always reads its own most recent write to a key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.consistency.history import HistoryRecorder
+
+__all__ = ["check_client_fifo", "check_read_your_writes"]
+
+
+def check_read_your_writes(history: HistoryRecorder) -> List[str]:
+    """Each client's read of a key reflects its own latest write to it.
+
+    Returns human-readable violation descriptions (empty = clean). Only
+    checks keys where the reading client is the *sole* writer — with
+    foreign writers, a newer foreign value may legitimately be read.
+    """
+    violations: List[str] = []
+    writers_by_key: Dict[str, set] = {}
+    for op in history.operations:
+        if op.kind == "write":
+            writers_by_key.setdefault(op.key, set()).add(op.client)
+    for client in history.clients():
+        last_write: Dict[str, Any] = {}
+        for op in history.for_client(client):
+            if op.kind == "write":
+                last_write[op.key] = op.value
+            elif op.key in last_write and writers_by_key.get(op.key) == {client}:
+                if op.value != last_write[op.key]:
+                    violations.append(
+                        f"{client} read {op.value!r} from {op.key} after "
+                        f"writing {last_write[op.key]!r}"
+                    )
+    return violations
+
+
+def check_client_fifo(history: HistoryRecorder) -> List[str]:
+    """A client's operations must not overlap (synchronous issue order).
+
+    With the synchronous client, op N+1 is invoked only after op N
+    completes; any overlap indicates the recorder or client is broken.
+    """
+    violations: List[str] = []
+    for client in history.clients():
+        ops = history.for_client(client)
+        for previous, current in zip(ops, ops[1:]):
+            if current.invoked < previous.completed:
+                violations.append(
+                    f"{client}: op {current.op_id} invoked at {current.invoked} "
+                    f"before op {previous.op_id} completed at {previous.completed}"
+                )
+    return violations

@@ -1,0 +1,73 @@
+"""Operation histories: invocation/response records for offline checking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List
+
+__all__ = ["HistoryRecorder", "Operation"]
+
+
+@dataclass
+class Operation:
+    """One completed client operation on a single key.
+
+    ``kind`` is "read" or "write"; for reads, ``value`` is the value
+    returned; for writes, the value written. Times are simulated ms.
+    """
+
+    client: str
+    kind: str
+    key: str
+    value: Any
+    invoked: float
+    completed: float
+    op_id: int = 0
+
+    def overlaps(self, other: "Operation") -> bool:
+        return self.invoked < other.completed and other.invoked < self.completed
+
+    def precedes(self, other: "Operation") -> bool:
+        """Strict real-time precedence."""
+        return self.completed < other.invoked
+
+
+class HistoryRecorder:
+    """Collects operations across clients for one run."""
+
+    def __init__(self):
+        self.operations: List[Operation] = []
+        self._next_id = 0
+
+    def record(
+        self,
+        client: str,
+        kind: str,
+        key: str,
+        value: Any,
+        invoked: float,
+        completed: float,
+    ) -> Operation:
+        if kind not in ("read", "write"):
+            raise ValueError(f"kind must be read/write, got {kind!r}")
+        if completed < invoked:
+            raise ValueError("completed before invoked")
+        self._next_id += 1
+        op = Operation(client, kind, key, value, invoked, completed, self._next_id)
+        self.operations.append(op)
+        return op
+
+    def for_key(self, key: str) -> List[Operation]:
+        return [op for op in self.operations if op.key == key]
+
+    def for_client(self, client: str) -> List[Operation]:
+        return sorted(
+            (op for op in self.operations if op.client == client),
+            key=lambda op: op.invoked,
+        )
+
+    def keys(self) -> List[str]:
+        return sorted({op.key for op in self.operations})
+
+    def clients(self) -> List[str]:
+        return sorted({op.client for op in self.operations})

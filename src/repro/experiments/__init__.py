@@ -1,0 +1,16 @@
+"""Experiment harness: one module per paper figure plus ablations.
+
+Each module exposes a ``run_*`` function that builds a fresh simulated
+world, drives the workload, and returns structured results; the
+``benchmarks/`` suite wraps these to regenerate the paper's tables/figures
+and assert their shapes, and the ``examples/`` scripts reuse them.
+"""
+
+from repro.experiments.common import (
+    SYSTEMS,
+    World,
+    build_world,
+    format_table,
+)
+
+__all__ = ["SYSTEMS", "World", "build_world", "format_table"]

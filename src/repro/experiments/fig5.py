@@ -1,0 +1,62 @@
+"""Figure 5: CDF of write latency at 50% and 100% write ratios (§IV-A).
+
+The paper's observation: 80–90% of WanKeeper writes commit at local
+(couple-of-ms) latency thanks to migrated tokens, while all writes under
+ZooKeeper-with-observers pay one WAN RTT and most plain-ZooKeeper writes
+pay two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.fig4 import run_write_ratio_cell
+from repro.workloads import LatencyRecorder
+
+__all__ = ["Fig5Result", "run_fig5"]
+
+DEFAULT_SYSTEMS = ("zk", "zk_observer", "wk")
+DEFAULT_WRITE_FRACTIONS = (0.5, 1.0)
+
+
+@dataclass
+class Fig5Result:
+    system: str
+    write_fraction: float
+    cdf: List[Tuple[float, float]]  # (latency ms, cumulative fraction)
+    local_fraction: float  # writes under the local-commit threshold
+    recorder: LatencyRecorder
+
+    LOCAL_THRESHOLD_MS = 10.0
+
+
+def run_fig5(
+    systems: Sequence[str] = DEFAULT_SYSTEMS,
+    write_fractions: Sequence[float] = DEFAULT_WRITE_FRACTIONS,
+    seed: int = 42,
+    record_count: int = 1000,
+    operation_count: int = 10000,
+) -> Dict[Tuple[str, float], Fig5Result]:
+    """Write-latency CDFs per (system, write fraction)."""
+    results: Dict[Tuple[str, float], Fig5Result] = {}
+    for system in systems:
+        for fraction in write_fractions:
+            cell = run_write_ratio_cell(
+                system,
+                fraction,
+                seed=seed,
+                record_count=record_count,
+                operation_count=operation_count,
+            )
+            recorder = cell.recorder
+            results[(system, fraction)] = Fig5Result(
+                system=system,
+                write_fraction=fraction,
+                cdf=recorder.cdf("write"),
+                local_fraction=recorder.fraction_below(
+                    Fig5Result.LOCAL_THRESHOLD_MS, "write"
+                ),
+                recorder=recorder,
+            )
+    return results

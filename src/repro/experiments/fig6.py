@@ -1,0 +1,93 @@
+"""Figure 6: two-site throughput on disjoint partitions, 50% writes (§IV-A).
+
+Two clients (California, Frankfurt) access disjoint halves of the record
+space. Four setups: plain ZK, ZK with observers, WanKeeper cold (all tokens
+start at Virginia) and WanKeeper hot (each site pre-holds its partition's
+tokens). Expected shape: ZK+obs ≈ 2× ZK; WK-hot > WK-cold > ZK+obs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.experiments.common import build_world
+from repro.net import CALIFORNIA, FRANKFURT, VIRGINIA
+from repro.workloads import LatencyRecorder, OverlapChooser, YcsbSpec
+from repro.workloads.driver import ClientPlan, run_ycsb
+
+__all__ = ["Fig6Result", "run_fig6"]
+
+DEFAULT_SETUPS = ("zk", "zk_observer", "wk", "wk_hot")
+
+
+@dataclass
+class Fig6Result:
+    setup: str
+    total_throughput: float
+    per_site_throughput: Dict[str, float]
+    write_mean_ms: float
+
+
+def run_fig6(
+    setups: Sequence[str] = DEFAULT_SETUPS,
+    seed: int = 42,
+    record_count: int = 1000,
+    operations_per_client: int = 5000,
+    write_fraction: float = 0.5,
+) -> Dict[str, Fig6Result]:
+    """Run the four Fig. 6 setups; returns setup -> result."""
+    spec = YcsbSpec(
+        record_count=record_count,
+        operation_count=operations_per_client,
+        write_fraction=write_fraction,
+    )
+    choosers = {
+        CALIFORNIA: OverlapChooser(record_count, 0.0, client_index=0),
+        FRANKFURT: OverlapChooser(record_count, 0.0, client_index=1),
+    }
+    # WK-hot: "each site holds half of the tokens at the beginning".
+    initial_tokens = {}
+    for site, chooser in choosers.items():
+        for index in chooser.private_indices:
+            initial_tokens[spec.key(index)] = site
+
+    results: Dict[str, Fig6Result] = {}
+    for setup in setups:
+        world = build_world(setup, seed=seed, initial_tokens=initial_tokens)
+        recorders = {
+            site: LatencyRecorder(f"{setup}@{site}") for site in choosers
+        }
+        plans = [
+            ClientPlan(
+                world.client(site),
+                world.rngs.stream(f"ycsb-{site}"),
+                recorders[site],
+                chooser=choosers[site],
+            )
+            for site in (CALIFORNIA, FRANKFURT)
+        ]
+        if setup == "wk_hot":
+            # Create each partition from the site that pre-holds its
+            # tokens, so the hot placement survives the load phase.
+            load_plan = [
+                (plans[index].client, list(choosers[site].private_indices))
+                for index, site in enumerate((CALIFORNIA, FRANKFURT))
+            ]
+            run_ycsb(world.env, plans, spec, load_plan=load_plan)
+        else:
+            run_ycsb(world.env, plans, spec, load_client=world.client(VIRGINIA))
+        merged = recorders[CALIFORNIA].merged(recorders[FRANKFURT])
+        results[setup] = Fig6Result(
+            setup=setup,
+            total_throughput=sum(
+                recorder.throughput_ops_per_sec()
+                for recorder in recorders.values()
+            ),
+            per_site_throughput={
+                site: recorder.throughput_ops_per_sec()
+                for site, recorder in recorders.items()
+            },
+            write_mean_ms=merged.mean_latency("write"),
+        )
+    return results

@@ -1,0 +1,188 @@
+"""Nemesis: scheduled, seeded fault injection for whole-system tests.
+
+A :class:`Nemesis` runs alongside a deployment and injects faults from a
+seeded random schedule — server crashes and restarts, WAN partitions and
+heals — while recording everything it did. Soak tests drive a workload
+under a nemesis and then check the global invariants (replica convergence,
+token exclusivity, history consistency) after a final quiet period.
+
+The design follows the Jepsen idea adapted to a deterministic simulator:
+because the schedule derives from the experiment seed, any failure found
+is perfectly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Environment, Interrupt
+
+__all__ = ["FaultEvent", "Nemesis", "NemesisConfig"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault (or repair)."""
+
+    time: float
+    kind: str  # crash | restart | partition | heal
+    target: str
+
+
+@dataclass
+class NemesisConfig:
+    """Probabilities and pacing of the fault schedule."""
+
+    interval_ms: float = 2000.0
+    crash_probability: float = 0.25
+    partition_probability: float = 0.15
+    #: Mean dwell before a crash/partition is repaired (exponential,
+    #: capped at ``repair_cap_factor`` times the mean so tail draws stay
+    #: bounded — e.g. below a failover timeout when that matters).
+    repair_after_ms: float = 6000.0
+    repair_cap_factor: float = 3.0
+    #: Never crash below this many live voters per ensemble (quorum guard);
+    #: the nemesis tests liveness under *tolerable* faults by default.
+    min_live_fraction: float = 0.6
+    #: Never partition more than one site pair at a time.
+    max_active_partitions: int = 1
+
+
+class Nemesis:
+    """Injects faults into a WanKeeper (or ZK) deployment on a schedule."""
+
+    def __init__(
+        self,
+        env: Environment,
+        net,
+        deployment,
+        rng: random.Random,
+        config: Optional[NemesisConfig] = None,
+    ):
+        self.env = env
+        self.net = net
+        self.deployment = deployment
+        self.rng = rng
+        self.config = config or NemesisConfig()
+        self.events: List[FaultEvent] = []
+        self._down: List[Tuple[float, Any]] = []  # (repair_at, server)
+        self._partitions: List[Tuple[float, str, str]] = []
+        self._proc = None
+        self._active = False
+
+    # ------------------------------------------------------------------ API
+
+    def start(self) -> None:
+        if self._active:
+            raise RuntimeError("nemesis already running")
+        self._active = True
+        self._proc = self.env.process(self._run(), name="nemesis")
+
+    def stop_and_repair(self) -> None:
+        """Stop injecting and repair everything (for the quiet period)."""
+        self._active = False
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("nemesis stopped")
+        for _at, server in self._down:
+            if not server.is_alive:
+                server.restart()
+                self._log("restart", server.name)
+        self._down = []
+        for _at, site_a, site_b in self._partitions:
+            self.net.heal(site_a, site_b)
+            self._log("heal", f"{site_a}~{site_b}")
+        self._partitions = []
+
+    # ----------------------------------------------------------------- guts
+
+    def _log(self, kind: str, target: str) -> None:
+        self.events.append(FaultEvent(self.env.now, kind, target))
+
+    def _run(self):
+        while self._active:
+            try:
+                yield self.env.timeout(self.config.interval_ms)
+            except Interrupt:
+                return
+            if not self._active:
+                return
+            self._repair_due()
+            roll = self.rng.random()
+            if roll < self.config.crash_probability:
+                self._maybe_crash()
+            elif roll < (
+                self.config.crash_probability + self.config.partition_probability
+            ):
+                self._maybe_partition()
+
+    def _repair_due(self) -> None:
+        now = self.env.now
+        still_down = []
+        for repair_at, server in self._down:
+            if now >= repair_at and not server.is_alive:
+                server.restart()
+                self._log("restart", server.name)
+            elif not server.is_alive:
+                still_down.append((repair_at, server))
+        self._down = still_down
+        open_partitions = []
+        for heal_at, site_a, site_b in self._partitions:
+            if now >= heal_at:
+                self.net.heal(site_a, site_b)
+                self._log("heal", f"{site_a}~{site_b}")
+            else:
+                open_partitions.append((heal_at, site_a, site_b))
+        self._partitions = open_partitions
+
+    def _sites(self) -> List[str]:
+        by_site = getattr(self.deployment, "by_site", None)
+        if by_site is not None:
+            return sorted(by_site)
+        return sorted({server.site for server in self.deployment.servers})
+
+    def _servers_in(self, site: str) -> List[Any]:
+        by_site = getattr(self.deployment, "by_site", None)
+        if by_site is not None:
+            return by_site[site]
+        return [s for s in self.deployment.servers if s.site == site]
+
+    def _maybe_crash(self) -> None:
+        site = self.rng.choice(self._sites())
+        servers = self._servers_in(site)
+        live = [server for server in servers if server.is_alive]
+        # Quorum guard: keep a strict majority of each ensemble alive.
+        min_keep = max(
+            len(servers) // 2 + 1,
+            int(len(servers) * self.config.min_live_fraction),
+        )
+        if len(live) - 1 < min_keep:
+            return
+        victim = self.rng.choice(live)
+        victim.crash()
+        self._log("crash", victim.name)
+        self._down.append((self.env.now + self._dwell(), victim))
+
+    def _maybe_partition(self) -> None:
+        if len(self._partitions) >= self.config.max_active_partitions:
+            return
+        sites = self._sites()
+        if len(sites) < 2:
+            return
+        site_a, site_b = self.rng.sample(sites, 2)
+        if self.net.partitioned(site_a, site_b):
+            return
+        self.net.partition(site_a, site_b)
+        self._log("partition", f"{site_a}~{site_b}")
+        self._partitions.append((self.env.now + self._dwell(), site_a, site_b))
+
+    def _dwell(self) -> float:
+        raw = self.rng.expovariate(1.0 / self.config.repair_after_ms)
+        return min(raw, self.config.repair_after_ms * self.config.repair_cap_factor)
+
+    def summary(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

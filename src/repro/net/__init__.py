@@ -1,0 +1,34 @@
+"""Simulated wide-area network substrate.
+
+Models the paper's deployment: nodes grouped into datacenter *sites*
+(Virginia, California, Frankfurt in the evaluation), with an intra-site
+latency of well under a millisecond and inter-site latencies of tens of
+milliseconds. Channels are reliable and FIFO per sender/receiver pair,
+standing in for TCP as the paper requires (§II-B: "we require FIFO channels
+between brokers/servers, which can be ensured by using TCP").
+"""
+
+from repro.net.message import Envelope
+from repro.net.topology import (
+    CALIFORNIA,
+    FRANKFURT,
+    VIRGINIA,
+    NodeAddress,
+    Site,
+    Topology,
+    wan_topology,
+)
+from repro.net.transport import Network, NodeDownError
+
+__all__ = [
+    "CALIFORNIA",
+    "Envelope",
+    "FRANKFURT",
+    "Network",
+    "NodeAddress",
+    "NodeDownError",
+    "Site",
+    "Topology",
+    "VIRGINIA",
+    "wan_topology",
+]

@@ -1,0 +1,32 @@
+"""Message envelope carried by the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Envelope"]
+
+
+@dataclass
+class Envelope:
+    """A message in flight.
+
+    ``body`` is an arbitrary protocol message object; the network never
+    inspects it. ``seq`` is a global send sequence number used for stable
+    ordering and debugging.
+    """
+
+    src: Any
+    dst: Any
+    body: Any
+    send_time: float
+    deliver_time: float = 0.0
+    seq: int = 0
+    size_bytes: int = field(default=256)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Envelope #{self.seq} {self.src}->{self.dst} "
+            f"{type(self.body).__name__} t={self.send_time:.3f}>"
+        )

@@ -1,0 +1,169 @@
+"""The simulated network: registration, FIFO delivery, partitions, crashes.
+
+Delivery semantics mirror TCP as the paper assumes:
+
+* **reliable** — a message between two live, connected nodes is always
+  delivered;
+* **FIFO per (src, dst) pair** — delivery times are forced monotone per
+  ordered pair, so jitter can never reorder two messages on one connection;
+* **connection-loss on partition/crash** — messages to a crashed node or
+  across a partition are silently dropped (the sender's protocol timeouts
+  are responsible for recovery, as with a broken TCP connection).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.net.message import Envelope
+from repro.net.topology import NodeAddress, Topology
+from repro.sim.kernel import Environment
+from repro.sim.store import Store
+
+__all__ = ["Network", "NodeDownError"]
+
+
+class NodeDownError(Exception):
+    """Raised when interacting with a crashed node's endpoint."""
+
+
+class Network:
+    """Routes messages between registered node inboxes with WAN delays."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Topology,
+        rng: Optional[random.Random] = None,
+    ):
+        self.env = env
+        self.topology = topology
+        self.rng = rng or random.Random(0)
+        self._inboxes: Dict[NodeAddress, Store] = {}
+        self._down: Set[NodeAddress] = set()
+        self._partitions: Set[FrozenSet[str]] = set()
+        self._last_delivery: Dict[Tuple[NodeAddress, NodeAddress], float] = {}
+        self._seq = 0
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        self._taps: List[Callable[[Envelope], None]] = []
+
+    # -- endpoints ----------------------------------------------------------
+
+    def register(self, addr: NodeAddress) -> Store:
+        """Register ``addr`` and return its inbox store."""
+        if addr in self._inboxes:
+            raise ValueError(f"address already registered: {addr}")
+        inbox = Store(self.env, name=str(addr))
+        self._inboxes[addr] = inbox
+        return inbox
+
+    def inbox(self, addr: NodeAddress) -> Store:
+        return self._inboxes[addr]
+
+    def is_registered(self, addr: NodeAddress) -> bool:
+        return addr in self._inboxes
+
+    # -- failure injection ----------------------------------------------------
+
+    def crash(self, addr: NodeAddress) -> None:
+        """Crash a node: close its inbox and drop in-flight messages to it."""
+        if addr not in self._inboxes:
+            raise ValueError(f"unknown address: {addr}")
+        self._down.add(addr)
+        self._inboxes[addr].close()
+
+    def restart(self, addr: NodeAddress) -> None:
+        """Restart a crashed node with an empty inbox."""
+        if addr not in self._down:
+            raise ValueError(f"node not down: {addr}")
+        self._down.discard(addr)
+        self._inboxes[addr].reopen()
+
+    def is_down(self, addr: NodeAddress) -> bool:
+        return addr in self._down
+
+    def partition(self, site_a: str, site_b: str) -> None:
+        """Sever connectivity between two sites (both directions)."""
+        if site_a == site_b:
+            raise ValueError("cannot partition a site from itself")
+        self._partitions.add(frozenset({site_a, site_b}))
+
+    def heal(self, site_a: str, site_b: str) -> None:
+        """Restore connectivity between two sites."""
+        self._partitions.discard(frozenset({site_a, site_b}))
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def partitioned(self, site_a: str, site_b: str) -> bool:
+        if site_a == site_b:
+            return False
+        return frozenset({site_a, site_b}) in self._partitions
+
+    # -- observation ----------------------------------------------------------
+
+    def tap(self, callback: Callable[[Envelope], None]) -> None:
+        """Register an observer invoked for every *sent* envelope."""
+        self._taps.append(callback)
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, src: NodeAddress, dst: NodeAddress, body: Any,
+             size_bytes: int = 256) -> None:
+        """Send ``body`` from ``src`` to ``dst``; returns immediately.
+
+        Dropped (not raised) if either endpoint is down or the sites are
+        partitioned — matching a broken TCP connection, where the sender
+        discovers the failure only through its own timeouts.
+        """
+        if dst not in self._inboxes:
+            raise ValueError(f"unknown destination: {dst}")
+        self._seq += 1
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        envelope = Envelope(
+            src=src,
+            dst=dst,
+            body=body,
+            send_time=self.env.now,
+            seq=self._seq,
+            size_bytes=size_bytes,
+        )
+        for tap in self._taps:
+            tap(envelope)
+        if src in self._down or dst in self._down or self.partitioned(src.site, dst.site):
+            self.messages_dropped += 1
+            return
+
+        delay = self.topology.one_way(src, dst)
+        jitter = self.topology.jitter_fraction
+        if jitter > 0:
+            delay *= 1.0 + self.rng.uniform(0.0, jitter)
+
+        # Enforce FIFO per ordered pair: never deliver before the previous
+        # message on this connection.
+        key = (src, dst)
+        deliver_at = max(self.env.now + delay, self._last_delivery.get(key, 0.0))
+        self._last_delivery[key] = deliver_at
+        envelope.deliver_time = deliver_at
+
+        def deliver(_event: Any, envelope: Envelope = envelope) -> None:
+            # Re-check liveness at delivery time: a crash or partition that
+            # happened while the message was in flight kills it.
+            if (
+                envelope.dst in self._down
+                or self.partitioned(envelope.src.site, envelope.dst.site)
+            ):
+                self.messages_dropped += 1
+                return
+            inbox = self._inboxes[envelope.dst]
+            if inbox.closed:
+                self.messages_dropped += 1
+                return
+            inbox.put(envelope)
+
+        timer = self.env.timeout(deliver_at - self.env.now)
+        timer._add_callback(deliver)

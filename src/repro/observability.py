@@ -1,0 +1,93 @@
+"""Observability helpers: message accounting and token-migration analysis.
+
+These exist for the paper's tuning story (§I: WanKeeper "provides knobs for
+tuning/improving performance") — to tune the migration threshold or the
+primary-site assignment you first need to *see* where tokens move and what
+crosses the WAN.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.message import Envelope
+from repro.net.transport import Network
+
+__all__ = ["MessageStats", "migration_counts", "token_timeline"]
+
+
+@dataclass
+class MessageStats:
+    """Counts every sent message by payload type and site pair.
+
+    Attach before the workload: ``stats = MessageStats.attach(net)``.
+    """
+
+    by_type: Counter = field(default_factory=Counter)
+    by_site_pair: Counter = field(default_factory=Counter)
+    wan_messages: int = 0
+    local_messages: int = 0
+
+    @classmethod
+    def attach(cls, net: Network) -> "MessageStats":
+        stats = cls()
+        net.tap(stats._observe)
+        return stats
+
+    def _observe(self, envelope: Envelope) -> None:
+        self.by_type[type(envelope.body).__name__] += 1
+        pair = (envelope.src.site, envelope.dst.site)
+        self.by_site_pair[pair] += 1
+        if envelope.src.site == envelope.dst.site:
+            self.local_messages += 1
+        else:
+            self.wan_messages += 1
+
+    @property
+    def total(self) -> int:
+        return self.wan_messages + self.local_messages
+
+    def wan_fraction(self) -> float:
+        """Fraction of all messages that crossed the WAN."""
+        return self.wan_messages / self.total if self.total else 0.0
+
+    def top_types(self, count: int = 10) -> List[Tuple[str, int]]:
+        return self.by_type.most_common(count)
+
+    def report(self) -> str:
+        lines = [
+            f"messages: {self.total} total, {self.wan_messages} WAN "
+            f"({self.wan_fraction():.1%})",
+            "top message types:",
+        ]
+        for name, number in self.top_types():
+            lines.append(f"  {name:24s} {number}")
+        return "\n".join(lines)
+
+
+def token_timeline(
+    server, key: Optional[str] = None
+) -> List[Tuple[float, str, Optional[str]]]:
+    """Token movement events recorded at ``server`` (a WanKeeperServer).
+
+    Each event is ``(sim time ms, key, owner)`` with owner None meaning
+    the token returned to the hub. Filter to one ``key`` if given.
+    """
+    history = server.token_history
+    if key is not None:
+        history = [event for event in history if event[1] == key]
+    return list(history)
+
+
+def migration_counts(server) -> Dict[str, int]:
+    """Per-key count of token movements observed at ``server``.
+
+    High counts identify contended records — candidates for the paper's
+    tuning knobs (pinning at the hub, primary-site reassignment).
+    """
+    counts: Dict[str, int] = {}
+    for _time, key, _owner in server.token_history:
+        counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,13 @@
+"""SCFS-style cloud-backed file system metadata service (paper §IV-C).
+
+SCFS (Shared Cloud-backed File System) keeps file *data* in cloud object
+stores and file *metadata* — and the coordination of multi-client access —
+in the coordination service. The paper's microbenchmark drives only the
+metadata-update path, so the blob backend here is a latency-free store: the
+experiment's behaviour is entirely determined by where metadata updates are
+serialized (remote ZooKeeper leader vs. WanKeeper tokens).
+"""
+
+from repro.scfs.client import ScfsClient
+
+__all__ = ["ScfsClient"]

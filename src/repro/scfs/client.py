@@ -1,0 +1,108 @@
+"""The SCFS client: file operations over the coordination service.
+
+File metadata is one znode per file under ``/scfs/files``; a metadata
+update is a versioned ``set_data`` (the paper's YCSB "metadata update"
+microbenchmark drives exactly this operation). File contents go to a
+trivially simulated cloud blob store — irrelevant to the benchmark but kept
+so the examples can exercise a full open/write/close flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.kernel import Environment
+from repro.zk.client import ZkClient
+from repro.zk.errors import NodeExistsError, NoNodeError
+
+__all__ = ["ScfsClient"]
+
+FILES_ROOT = "/scfs/files"
+
+
+class _BlobStore:
+    """Stand-in for the cloud object stores SCFS writes file data to."""
+
+    def __init__(self):
+        self._blobs: Dict[str, bytes] = {}
+
+    def put(self, key: str, data: bytes) -> None:
+        self._blobs[key] = data
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self._blobs.get(key)
+
+
+#: One shared backend per simulation is enough for the use case.
+_SHARED_BACKENDS: Dict[int, _BlobStore] = {}
+
+
+def _backend_for(env: Environment) -> _BlobStore:
+    backend = _SHARED_BACKENDS.get(id(env))
+    if backend is None:
+        backend = _BlobStore()
+        _SHARED_BACKENDS[id(env)] = backend
+    return backend
+
+
+class ScfsClient:
+    """A mounted SCFS instance for one user/site."""
+
+    def __init__(self, env: Environment, zk: ZkClient, name: str = ""):
+        self.env = env
+        self.zk = zk
+        self.name = name or "scfs"
+        self.blobs = _backend_for(env)
+        self.metadata_updates = 0
+
+    def mount(self):
+        """Generator: ensure the metadata tree exists."""
+        yield self.zk.connect()
+        for path in ("/scfs", FILES_ROOT):
+            try:
+                yield self.zk.create(path, b"")
+            except NodeExistsError:
+                pass
+
+    @staticmethod
+    def file_path(file_name: str) -> str:
+        return f"{FILES_ROOT}/{file_name}"
+
+    def create_file(self, file_name: str, metadata: bytes = b""):
+        """Generator: create a file's metadata entry."""
+        yield self.zk.create(self.file_path(file_name), metadata)
+
+    def update_metadata(self, file_name: str, metadata: bytes):
+        """Generator: one metadata update (the benchmark's operation)."""
+        yield self.zk.set_data(self.file_path(file_name), metadata)
+        self.metadata_updates += 1
+
+    def read_metadata(self, file_name: str):
+        """Generator: read a file's metadata; returns (data, stat)."""
+        data, stat = yield self.zk.get_data(self.file_path(file_name))
+        return data, stat
+
+    def write_file(self, file_name: str, data: bytes):
+        """Generator: full write: blob upload + metadata update."""
+        blob_key = f"{file_name}#{self.env.now}"
+        self.blobs.put(blob_key, data)
+        yield from self.update_metadata(
+            file_name, f"blob={blob_key};size={len(data)}".encode()
+        )
+
+    def read_file(self, file_name: str):
+        """Generator: full read: metadata lookup + blob fetch."""
+        data, _stat = yield self.zk.get_data(self.file_path(file_name))
+        fields = dict(
+            part.split("=", 1) for part in data.decode().split(";") if "=" in part
+        )
+        blob_key = fields.get("blob")
+        return self.blobs.get(blob_key) if blob_key else None
+
+    def list_files(self):
+        """Generator: list file names."""
+        try:
+            children = yield self.zk.get_children(FILES_ROOT)
+        except NoNodeError:
+            return []
+        return children

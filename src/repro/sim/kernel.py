@@ -1,0 +1,428 @@
+"""Core discrete-event simulation kernel.
+
+The kernel follows the SimPy programming model: simulation actors are Python
+generators ("processes") that ``yield`` events; the environment advances a
+virtual clock from event to event. Unlike SimPy, the implementation here is
+purpose-built for protocol simulation:
+
+* strict determinism — ties in the event queue are broken by a monotonically
+  increasing sequence number, never by object identity;
+* cheap interrupts — lease expiry and failure injection interrupt waiting
+  processes without tearing down the kernel;
+* no real time — ``Environment.run`` returns when the queue is empty or the
+  requested horizon is reached.
+
+Time is a ``float`` in **milliseconds**: WAN round-trips in the paper are
+tens of milliseconds, and milliseconds keep all constants readable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+# Event queue priorities. Lower values are dequeued earlier at equal times.
+# URGENT is used for process resumption so that a process that was waiting on
+# an event runs before new events scheduled for the same instant.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the kernel (double triggers, bad yields...)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another actor interrupted.
+
+    The ``cause`` attribute carries the value supplied to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*, becomes *triggered* when given a value (or an
+    exception), and is *processed* once its callbacks have run. Processes
+    wait on an event by yielding it.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._ok: Optional[bool] = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        if not self._ok:
+            raise SimulationError("event failed; no value")
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._enqueue(0.0, priority, self)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._exception = exception
+        self.env._enqueue(0.0, priority, self)
+        return self
+
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: deliver through the queue at the current
+            # instant rather than synchronously, so that a process yielding
+            # processed events in a loop cannot recurse unboundedly.
+            shim = Event(self.env)
+            shim._ok = self._ok
+            shim._value = self._value
+            shim._exception = self._exception
+            shim.callbacks.append(lambda _shim: callback(self))
+            self.env._enqueue(0.0, PRIORITY_URGENT, shim)
+        else:
+            self.callbacks.append(callback)
+
+    def _remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is not None and callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed virtual delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self._ok = True
+        self._value = value
+        self.delay = delay
+        env._enqueue(delay, PRIORITY_NORMAL, self)
+
+
+class _Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._enqueue(0.0, PRIORITY_URGENT, self)
+
+
+class Process(Event):
+    """A running generator. The process is itself an event that triggers
+    when the generator returns (value = return value) or raises."""
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError("process body must be a generator")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = _Initialize(env, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name} at t={self.env.now}>"
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process: raise :class:`Interrupt` inside it.
+
+        Interrupting a dead process is an error; interrupting a process that
+        is itself the current actor is not supported (use exceptions).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        if self.env._active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._exception = Interrupt(cause)
+        event._interrupted_process = self  # type: ignore[attr-defined]
+        event.callbacks.append(self._resume_interrupt)
+        self.env._enqueue(0.0, PRIORITY_URGENT, event)
+
+    def _resume_interrupt(self, event: Event) -> None:
+        if not self.is_alive:
+            return  # process finished before the interrupt was delivered
+        if self._target is not None:
+            self._target._remove_callback(self._resume)
+            self._target = None
+        self._step(event)
+
+    def _resume(self, event: Event) -> None:
+        if self._target is not event:
+            # Stale wake-up: an interrupt moved the process off this event
+            # before the (queued) delivery arrived.
+            return
+        self._target = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        env = self.env
+        env._active_process = self
+        try:
+            if event._ok:
+                next_target = self._generator.send(event._value)
+            else:
+                exc = event._exception
+                assert exc is not None
+                next_target = self._generator.throw(exc)
+        except StopIteration as stop:
+            env._active_process = None
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            env._active_process = None
+            self._finish_fail(exc)
+            return
+        env._active_process = None
+
+        if not isinstance(next_target, Event):
+            crash = SimulationError(
+                f"process {self.name} yielded non-event {next_target!r}"
+            )
+            self._generator.close()
+            self._finish_fail(crash)
+            return
+        if next_target is self:
+            crash = SimulationError(f"process {self.name} waited on itself")
+            self._generator.close()
+            self._finish_fail(crash)
+            return
+        self._target = next_target
+        next_target._add_callback(self._resume)
+
+    def _finish_ok(self, value: Any) -> None:
+        self._ok = True
+        self._value = value
+        self.env._enqueue(0.0, PRIORITY_URGENT, self)
+
+    def _finish_fail(self, exc: BaseException) -> None:
+        self._ok = False
+        self._exception = exc
+        self._defused = False
+        self.env._enqueue(0.0, PRIORITY_URGENT, self)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events.
+
+    A child counts as *done* only once its callbacks fire (i.e. at the
+    simulated instant it is delivered), not merely when its value is decided
+    — a :class:`Timeout` decides its value at construction but fires later.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._done = [False] * len(self._events)
+        if not self._events:
+            self.succeed({}, priority=PRIORITY_URGENT)
+            return
+        for index, event in enumerate(self._events):
+            event._add_callback(
+                lambda fired, index=index: self._on_child(index, fired)
+            )
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if self._ok is not None:
+            return
+        self._done[index] = True
+        if not event._ok:
+            assert event._exception is not None
+            # Mark crashed child processes handled so run() doesn't re-raise.
+            if hasattr(event, "_defused"):
+                event._defused = True  # type: ignore[attr-defined]
+            self.fail(event._exception, priority=PRIORITY_URGENT)
+            return
+        self._check()
+
+    def _check(self) -> None:
+        raise NotImplementedError
+
+    def _results(self) -> dict:
+        return {
+            index: event._value
+            for index, event in enumerate(self._events)
+            if self._done[index] and event._ok
+        }
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any child event fires.
+
+    The value is a dict mapping the index of each already-fired child to its
+    value.
+    """
+
+    def _check(self) -> None:
+        if any(self._done):
+            self.succeed(self._results(), priority=PRIORITY_URGENT)
+
+
+class AllOf(_Condition):
+    """Triggers once every child event has fired."""
+
+    def _check(self) -> None:
+        if all(self._done):
+            self.succeed(self._results(), priority=PRIORITY_URGENT)
+
+
+class Environment:
+    """The simulation environment: clock + event queue + process factory."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _enqueue(self, delay: float, priority: int, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event in the queue."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if (
+            not event._ok
+            and event._exception is not None
+            and not callbacks
+            and not getattr(event, "_defused", True)
+        ):
+            # A process crashed and nobody was waiting on it: surface it.
+            raise event._exception
+
+    def run(self, until: Optional[float] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be a time horizon (run until the clock reaches it) or an
+        :class:`Event` (run until the event triggers, returning its value).
+        With no argument, run until the event queue drains.
+        """
+        stop_event: Optional[Event] = None
+        horizon = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"run(until={horizon}) is in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if stop_event is not None and stop_event.triggered:
+                break
+            if self.peek() > horizon:
+                self._now = horizon
+                break
+            self.step()
+        else:
+            if stop_event is not None and not stop_event.triggered:
+                raise SimulationError("run() ran out of events before stop event")
+            if horizon != float("inf"):
+                self._now = horizon
+
+        if stop_event is not None:
+            if not stop_event._ok:
+                assert stop_event._exception is not None
+                raise stop_event._exception
+            return stop_event._value
+        return None

@@ -1,0 +1,82 @@
+"""FIFO stores: the mailbox primitive connecting simulated actors.
+
+A :class:`Store` is an unbounded FIFO queue of items. ``put`` is immediate;
+``get`` returns an event that triggers once an item is available. Items are
+delivered to getters in request order, which — combined with the network
+layer scheduling deliveries in send order — is what gives the simulation its
+FIFO-channel (TCP-like) guarantee.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.sim.kernel import Environment, Event, SimulationError
+
+__all__ = ["Store", "StoreClosed"]
+
+
+class StoreClosed(Exception):
+    """Raised in getters when the store is closed (e.g. node crashed)."""
+
+
+class Store:
+    """Unbounded FIFO store of items with event-based ``get``."""
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: List[Event] = []
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter, if any."""
+        if self._closed:
+            raise SimulationError(f"put() on closed store {self.name!r}")
+        if self._getters:
+            getter = self._getters.pop(0)
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that triggers with the next item."""
+        event = Event(self.env)
+        if self._closed and not self._items:
+            event.fail(StoreClosed(self.name))
+        elif self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get: return the next item or ``None`` if empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def close(self) -> None:
+        """Close the store: pending and future getters fail with
+        :class:`StoreClosed`. Buffered items are discarded (a crashed node
+        never processes its inbox)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._items.clear()
+        getters, self._getters = self._getters, []
+        for getter in getters:
+            getter.fail(StoreClosed(self.name))
+
+    def reopen(self) -> None:
+        """Reopen a closed store (node restart)."""
+        self._closed = False

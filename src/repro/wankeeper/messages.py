@@ -1,0 +1,284 @@
+"""WAN-layer messages and replicated transaction wrappers.
+
+Two kinds of definitions live here:
+
+* **control messages** exchanged between level-1 site leaders and the
+  level-2 broker over the WAN (submit, replicate, recall, heartbeat);
+* **replicated payloads** committed inside site/hub ensembles: the
+  :class:`WanTxn` wrapper around a client transaction (carrying origin and
+  piggybacked token grants, per protocol Fig. 2) and the token marker ops
+  that make token state recoverable from the log (§II-D fault tolerance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.net.topology import NodeAddress
+from repro.zk.ops import Txn
+
+__all__ = [
+    "L2Promoted",
+    "L2PromotionRequest",
+    "L2PromotionVote",
+    "RelayNoopOp",
+    "RemoteApply",
+    "SiteReplicate",
+    "TokenAcceptOp",
+    "TokenGrant",
+    "TokenRecall",
+    "TokenReleaseOp",
+    "TokenReturn",
+    "TokenSyncOp",
+    "WanAck",
+    "WanEpochOp",
+    "WanHeartbeat",
+    "WanHeartbeatAck",
+    "WanHello",
+    "WanSubmit",
+    "WanTxn",
+    "WanWelcome",
+    "wan_id_of",
+]
+
+
+def wan_id_of(txn: Txn) -> Tuple[str, int]:
+    """Globally unique id of a client transaction (session ids are unique)."""
+    return (txn.session_id, txn.cxid)
+
+
+# -- replicated payloads -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TokenGrant:
+    """Hub -> site token migration, piggybacked on a committed WanTxn."""
+
+    key: str
+    site: str
+
+
+@dataclass(frozen=True)
+class WanTxn:
+    """A client transaction wrapped for WanKeeper replication.
+
+    ``serialized_at`` is either a site name (local commit under a held
+    token) or ``"l2"`` (hub serialization). ``grants`` are the token
+    migrations decided when the hub serialized this txn — applying the
+    commit applies the grant on every replica, which is what makes grants
+    recoverable after leader failures.
+    """
+
+    txn: Txn
+    origin_site: str
+    serialized_at: str
+    grants: Tuple[TokenGrant, ...] = ()
+
+    @property
+    def wan_id(self) -> Tuple[str, int]:
+        return wan_id_of(self.txn)
+
+
+@dataclass(frozen=True)
+class TokenReleaseOp:
+    """Marker committed in a *site* ensemble: this site gives up ``keys``.
+
+    Committed locally before the TokenReturn control message is sent, so a
+    new site leader never believes it still holds a returned token.
+    """
+
+    keys: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TokenAcceptOp:
+    """Marker committed in the *hub* ensemble: returns from ``site`` landed.
+
+    Once applied, the hub may serialize transactions on ``keys`` again.
+    """
+
+    keys: Tuple[str, ...]
+    site: str
+
+
+# -- WAN control messages -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WanHello:
+    """Site server -> hub-site servers: who is the level-2 leader?
+
+    ``is_site_leader`` distinguishes the site's broker (whose address the
+    hub records as the relay target) from followers probing only for the
+    strong-read path.
+    """
+
+    site: str
+    sender: NodeAddress
+    is_site_leader: bool = True
+
+
+@dataclass(frozen=True)
+class WanWelcome:
+    """Hub leader -> site leader: I'm the level-2 broker."""
+
+    l2_addr: NodeAddress
+
+
+@dataclass(frozen=True)
+class WanSubmit:
+    """Site -> hub: serialize this transaction (tokens missing at site)."""
+
+    site: str
+    sender: NodeAddress
+    txn: Txn
+
+
+@dataclass(frozen=True)
+class SiteReplicate:
+    """Site -> hub: a locally committed transaction, for global visibility.
+
+    ``seq`` is the site's WAN replication sequence number (dedup + FIFO
+    check); retried until the hub acks.
+    """
+
+    site: str
+    sender: NodeAddress
+    seq: int
+    wan_txn: "WanTxn"
+
+
+@dataclass(frozen=True)
+class RemoteApply:
+    """Hub -> site: a hub-ensemble commit to apply in the site ensemble.
+
+    Carries hub commit order in ``seq``; ``to_origin`` marks the copy going
+    back to the transaction's origin site (whose accepting server replies
+    to the client once the site ensemble applies it).
+    """
+
+    seq: int
+    wan_txn: "WanTxn"
+    to_origin: bool = False
+
+
+@dataclass(frozen=True)
+class WanAck:
+    """Apply-level ack for SiteReplicate / RemoteApply retry loops."""
+
+    site: str
+    seq: int
+
+
+@dataclass(frozen=True)
+class TokenRecall:
+    """Hub -> site: terminate the lease on ``keys``; return them."""
+
+    keys: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TokenReturn:
+    """Site -> hub: ``keys`` released (after the local release marker)."""
+
+    site: str
+    sender: NodeAddress
+    keys: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class WanHeartbeat:
+    """Site leader -> hub leader: liveness + live client sessions.
+
+    Live-session piggybacking maintains cross-site ephemeral znodes (paper
+    §III-B, "WAN Heartbeater"). ``applied_relay_seq`` reports the site's
+    cumulative relay watermark so a newly elected hub leader can resume the
+    relay stream from the right position. ``owned_tokens`` is the site's
+    full token inventory, included when the hub requested it (a freshly
+    promoted level-2 site rebuilding its location map).
+    """
+
+    site: str
+    sender: NodeAddress
+    live_sessions: Tuple[str, ...] = ()
+    applied_relay_seq: int = 0
+    owned_tokens: Optional[Tuple[str, ...]] = None
+
+
+@dataclass(frozen=True)
+class WanHeartbeatAck:
+    """Hub leader -> site leader: ack + the hub's absorbed-replicate count
+    (lets a newly elected site leader resume its replicate stream).
+    ``need_inventory`` asks the site to include its token inventory in the
+    next heartbeat (level-2 promotion recovery)."""
+
+    l2_addr: NodeAddress
+    known_sites: Tuple[str, ...] = ()
+    absorbed: int = 0
+    need_inventory: bool = False
+
+
+# -- level-2 failover (paper §II-D: "flexible level-2 site") -------------------
+
+
+@dataclass(frozen=True)
+class L2PromotionRequest:
+    """Successor-site leader -> all site servers: the level-2 site looks
+    dead; vote for me as the new level-2 for ``epoch``."""
+
+    candidate_site: str
+    sender: NodeAddress
+    epoch: int
+
+
+@dataclass(frozen=True)
+class L2PromotionVote:
+    voter_site: str
+    sender: NodeAddress
+    epoch: int
+    agree: bool
+
+
+@dataclass(frozen=True)
+class L2Promoted:
+    """New hub leader -> all servers everywhere: epoch/new hub announcement.
+
+    Rebroadcast periodically so a partitioned-away old hub site demotes
+    itself when it reconnects."""
+
+    new_l2_site: str
+    epoch: int
+    sender: NodeAddress
+
+
+# -- replicated markers supporting failover ------------------------------------
+
+
+@dataclass(frozen=True)
+class WanEpochOp:
+    """Marker committed in a *site* ensemble: adopt a new WAN epoch with
+    ``l2_site`` as the hub. Applying it resets the site's relay watermark
+    (the new hub replays its filtered history; duplicates become
+    RelayNoopOp markers)."""
+
+    epoch: int
+    l2_site: str
+
+
+@dataclass(frozen=True)
+class RelayNoopOp:
+    """Marker committed in a *site* ensemble: a replayed relay entry the
+    site had already applied. Advances the derived relay watermark without
+    touching the tree."""
+
+    wan_id: Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class TokenSyncOp:
+    """Marker committed in the *hub* ensemble after promotion: ``site``'s
+    token holdings are exactly ``keys`` (inventory reconciliation)."""
+
+    site: str
+    keys: Tuple[str, ...]

@@ -1,0 +1,133 @@
+"""Token migration policies.
+
+The level-2 broker consults a :class:`MigrationPolicy` every time it
+serializes a transaction: should the token for this record move to the
+requesting site? The paper's production rule (§II-B) is *r consecutive
+requests from the same server* with ``r = 2`` as the recommended default;
+the policy interface also hosts the paper's knobs — never/always migrate
+and Markov-model proactive prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.wankeeper.prediction import MarkovPredictor
+
+__all__ = [
+    "AlwaysMigratePolicy",
+    "ConsecutiveAccessPolicy",
+    "MarkovPolicy",
+    "MigrationPolicy",
+    "NeverMigratePolicy",
+]
+
+
+class MigrationPolicy:
+    """Decides, per hub-serialized access, whether to migrate a token."""
+
+    def observe_and_decide(self, key: str, site: str) -> bool:
+        """Record an access of ``key`` by ``site``; True = migrate now."""
+        raise NotImplementedError
+
+    def observe(self, key: str, site: str) -> None:
+        """Record an access the hub did *not* serialize (a replicated
+        local commit). Keeps learning-based policies informed about
+        accesses happening under migrated tokens; default: ignore."""
+
+    def forget(self, key: str) -> None:
+        """The token for ``key`` came home (recall); reset its history."""
+
+
+@dataclass
+class ConsecutiveAccessPolicy(MigrationPolicy):
+    """The paper's rule: migrate after ``r`` consecutive same-site accesses.
+
+    ``r = 2`` is the paper's recommended heuristic ("we identify r = 2 as a
+    good heuristic for reaping benefits of access locality").
+    """
+
+    r: int = 2
+    _streaks: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.r < 1:
+            raise ValueError(f"r must be a positive integer, got {self.r}")
+
+    def observe_and_decide(self, key: str, site: str) -> bool:
+        last_site, count = self._streaks.get(key, (None, 0))
+        count = count + 1 if site == last_site else 1
+        self._streaks[key] = (site, count)
+        if count >= self.r:
+            del self._streaks[key]
+            return True
+        return False
+
+    def forget(self, key: str) -> None:
+        self._streaks.pop(key, None)
+
+
+class NeverMigratePolicy(MigrationPolicy):
+    """Tokens pinned at the hub: every write is serialized by level-2.
+
+    This degenerates WanKeeper into a centralized coordinator (akin to the
+    ZooKeeper-with-observers baseline) and anchors the ablation benches.
+    """
+
+    def observe_and_decide(self, key: str, site: str) -> bool:
+        return False
+
+
+class AlwaysMigratePolicy(MigrationPolicy):
+    """Migrate on first access (``r = 1``): maximum locality, maximum
+    thrash under contention."""
+
+    def observe_and_decide(self, key: str, site: str) -> bool:
+        return True
+
+
+@dataclass
+class MarkovPolicy(MigrationPolicy):
+    """Proactive policy: consult a Markov model of access patterns.
+
+    Falls back to the consecutive-``r`` rule, but additionally migrates on
+    the *first* access when the model predicts the same site accesses the
+    record next with probability at least ``threshold`` (§II-B).
+    """
+
+    r: int = 2
+    threshold: float = 0.6
+    window: int = 256
+    predictor: MarkovPredictor = field(default=None)  # type: ignore[assignment]
+    _fallback: ConsecutiveAccessPolicy = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if self.predictor is None:
+            self.predictor = MarkovPredictor(window=self.window)
+        self._fallback = ConsecutiveAccessPolicy(r=self.r)
+
+    def observe_and_decide(self, key: str, site: str) -> bool:
+        prediction: Optional[Tuple[str, float]] = self.predictor.predict_next_site(
+            key, site
+        )
+        self.predictor.observe(key, site)
+        streak_says = self._fallback.observe_and_decide(key, site)
+        if streak_says:
+            return True
+        if prediction is not None:
+            predicted_site, probability = prediction
+            if predicted_site == site and probability >= self.threshold:
+                self._fallback.forget(key)
+                return True
+        return False
+
+    def observe(self, key: str, site: str) -> None:
+        """Replicated local commits train the model (the broker's "lock
+        access log" includes them) without advancing migration streaks."""
+        self.predictor.observe(key, site)
+
+    def forget(self, key: str) -> None:
+        self._fallback.forget(key)

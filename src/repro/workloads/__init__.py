@@ -1,0 +1,38 @@
+"""YCSB-style workload generation, drivers, and measurement.
+
+Reimplements the slice of the Yahoo! Cloud Serving Benchmark the paper uses
+(§IV-A): closed-loop synchronous clients, Zipfian record selection, and
+read/update operation mixes — plus the paper's multi-site access patterns
+(disjoint partitions, fractional overlap, hotspots) and the latency /
+throughput / CDF / time-series statistics its figures report.
+"""
+
+from repro.workloads.choosers import (
+    HotspotChooser,
+    KeyChooser,
+    OverlapChooser,
+    UniformChooser,
+    ZipfianChooser,
+)
+from repro.workloads.driver import (
+    YcsbSpec,
+    load_records,
+    run_ycsb,
+    ycsb_client,
+)
+from repro.workloads.stats import LatencyRecorder, OpSample, percentile
+
+__all__ = [
+    "HotspotChooser",
+    "KeyChooser",
+    "LatencyRecorder",
+    "OpSample",
+    "OverlapChooser",
+    "UniformChooser",
+    "YcsbSpec",
+    "ZipfianChooser",
+    "load_records",
+    "percentile",
+    "run_ycsb",
+    "ycsb_client",
+]

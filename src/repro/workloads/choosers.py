@@ -1,0 +1,166 @@
+"""Record-selection distributions.
+
+The paper's YCSB runs choose records "randomly ... according to the Zipfian
+distribution" (§IV-A, with the standard YCSB constant). The multi-site
+experiments add disjoint partitions with a controlled overlap fraction
+(Fig. 7, Fig. 10) and an 80/20 hotspot (Fig. 10b).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+__all__ = [
+    "HotspotChooser",
+    "KeyChooser",
+    "OverlapChooser",
+    "UniformChooser",
+    "ZipfianChooser",
+]
+
+
+class KeyChooser:
+    """Chooses a record index in ``[0, record_count)``."""
+
+    def __init__(self, record_count: int):
+        if record_count < 1:
+            raise ValueError("record_count must be positive")
+        self.record_count = record_count
+
+    def choose(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+
+class UniformChooser(KeyChooser):
+    """Uniform selection."""
+
+    def choose(self, rng: random.Random) -> int:
+        return rng.randrange(self.record_count)
+
+
+class ZipfianChooser(KeyChooser):
+    """YCSB's Zipfian generator: rank-frequency f(k) ~ 1 / k^theta.
+
+    Uses the standard YCSB/Gray sampling formula with precomputed zeta
+    constants. ``theta = 0.99`` matches YCSB's default ("Zipfian constant").
+    """
+
+    def __init__(self, record_count: int, theta: float = 0.99):
+        super().__init__(record_count)
+        if not 0.0 < theta < 1.0:
+            raise ValueError("theta must be in (0, 1)")
+        self.theta = theta
+        self._zetan = sum(1.0 / (i ** theta) for i in range(1, record_count + 1))
+        self._zeta2 = 1.0 + 0.5 ** theta
+        self._alpha = 1.0 / (1.0 - theta)
+        if record_count > 2:
+            self._eta = (1.0 - (2.0 / record_count) ** (1.0 - theta)) / (
+                1.0 - self._zeta2 / self._zetan
+            )
+        else:
+            # The YCSB approximation degenerates for tiny universes
+            # (its denominator is zero at n = 2); exact sampling instead.
+            self._eta = 0.0
+
+    def choose(self, rng: random.Random) -> int:
+        u = rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < self._zeta2 or self.record_count <= 2:
+            return min(1, self.record_count - 1)
+        rank = int(
+            self.record_count * (self._eta * u - self._eta + 1.0) ** self._alpha
+        )
+        return min(rank, self.record_count - 1)
+
+
+class HotspotChooser(KeyChooser):
+    """``hot_op_fraction`` of accesses hit the first ``hot_data_fraction``
+    of records (the paper's "80% of operations updating 20% of data")."""
+
+    def __init__(
+        self,
+        record_count: int,
+        hot_data_fraction: float = 0.2,
+        hot_op_fraction: float = 0.8,
+        rotation: int = 0,
+    ):
+        super().__init__(record_count)
+        if not 0.0 < hot_data_fraction <= 1.0:
+            raise ValueError("hot_data_fraction must be in (0, 1]")
+        if not 0.0 <= hot_op_fraction <= 1.0:
+            raise ValueError("hot_op_fraction must be in [0, 1]")
+        self.hot_count = max(1, int(record_count * hot_data_fraction))
+        self.hot_op_fraction = hot_op_fraction
+        # Rotating the hot region lets two clients sharing a keyspace have
+        # *different* hotspots ("a 20% hotspot at both sites", Fig. 10b).
+        self.rotation = rotation % record_count
+
+    def choose(self, rng: random.Random) -> int:
+        if rng.random() < self.hot_op_fraction:
+            base = rng.randrange(self.hot_count)
+        elif self.hot_count == self.record_count:
+            base = rng.randrange(self.record_count)
+        else:
+            base = self.hot_count + rng.randrange(
+                self.record_count - self.hot_count
+            )
+        return (base + self.rotation) % self.record_count
+
+
+class OverlapChooser(KeyChooser):
+    """Two-client overlap pattern (Fig. 7 / Fig. 10).
+
+    The keyspace is split into a *shared* region of ``overlap`` fraction and
+    per-client private regions. With probability ``overlap``, a client picks
+    from the shared region; otherwise from its own private region — so an
+    overlap of 0 gives fully disjoint access and 1.0 full contention.
+    ``inner`` selects *within* the chosen region (uniform, hotspot, ...).
+    """
+
+    def __init__(
+        self,
+        record_count: int,
+        overlap: float,
+        client_index: int,
+        client_total: int = 2,
+        inner_factory=UniformChooser,
+    ):
+        super().__init__(record_count)
+        if not 0.0 <= overlap <= 1.0:
+            raise ValueError("overlap must be in [0, 1]")
+        if not 0 <= client_index < client_total:
+            raise ValueError("bad client index")
+        self.overlap = overlap
+        shared_count = int(record_count * overlap)
+        private_total = record_count - shared_count
+        per_client = private_total // client_total if client_total else 0
+        self._shared: Sequence[int] = range(0, shared_count)
+        start = shared_count + client_index * per_client
+        self._private: Sequence[int] = range(start, start + per_client)
+        self._shared_inner = (
+            inner_factory(len(self._shared)) if len(self._shared) else None
+        )
+        self._private_inner = (
+            inner_factory(len(self._private)) if len(self._private) else None
+        )
+
+    def choose(self, rng: random.Random) -> int:
+        use_shared = self._shared_inner is not None and (
+            self._private_inner is None or rng.random() < self.overlap
+        )
+        if use_shared:
+            return self._shared[self._shared_inner.choose(rng)]
+        return self._private[self._private_inner.choose(rng)]
+
+    @property
+    def shared_indices(self) -> Sequence[int]:
+        """Record indices in the shared (contended) region."""
+        return self._shared
+
+    @property
+    def private_indices(self) -> Sequence[int]:
+        """Record indices private to this client."""
+        return self._private

@@ -1,0 +1,187 @@
+"""Closed-loop YCSB client driver.
+
+Mirrors the paper's setup: "the YCSB benchmark client with the synchronous
+ZooKeeper client API" (§IV-A) — each client issues one operation at a time,
+reads via ``get_data`` and updates via ``set_data``, against a preloaded
+record table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.kernel import Environment
+from repro.workloads.choosers import KeyChooser, UniformChooser, ZipfianChooser
+from repro.workloads.stats import LatencyRecorder
+from repro.zk.client import ZkClient
+from repro.zk.errors import ConnectionLossError, ZkError
+
+__all__ = ["YcsbSpec", "load_records", "run_ycsb", "ycsb_client"]
+
+
+@dataclass
+class YcsbSpec:
+    """Parameters of one YCSB run (defaults follow §IV-A)."""
+
+    record_count: int = 1000
+    operation_count: int = 10000
+    write_fraction: float = 0.5
+    value_size: int = 100
+    table: str = "/usertable"
+    key_prefix: str = "user"
+    zipf_theta: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.record_count < 1 or self.operation_count < 0:
+            raise ValueError("counts must be positive")
+
+    def key(self, index: int) -> str:
+        return f"{self.table}/{self.key_prefix}{index:06d}"
+
+    def default_chooser(self) -> KeyChooser:
+        return ZipfianChooser(self.record_count, self.zipf_theta)
+
+    def value(self, rng: random.Random) -> bytes:
+        return bytes(rng.randrange(256) for _ in range(min(self.value_size, 16)))
+
+
+def load_records(client: ZkClient, spec: YcsbSpec, indices: Optional[Sequence[int]] = None):
+    """Generator process: create the record table through ``client``."""
+    from repro.zk.errors import NodeExistsError
+
+    # Create the table path (and any intermediate ancestors).
+    components = spec.table.strip("/").split("/")
+    for depth in range(1, len(components) + 1):
+        ancestor = "/" + "/".join(components[:depth])
+        try:
+            yield client.create(ancestor, b"")
+        except NodeExistsError:
+            pass  # another loader already created it
+    for index in indices if indices is not None else range(spec.record_count):
+        yield client.create(spec.key(index), b"\x00" * min(spec.value_size, 16))
+
+
+def ycsb_client(
+    env: Environment,
+    client: ZkClient,
+    spec: YcsbSpec,
+    rng: random.Random,
+    recorder: LatencyRecorder,
+    chooser: Optional[KeyChooser] = None,
+    operation_count: Optional[int] = None,
+    deadline_ms: Optional[float] = None,
+    max_retries: int = 3,
+):
+    """Generator process: run the closed-loop operation mix.
+
+    Operations that hit a connection loss are retried up to ``max_retries``
+    times (recorded as one sample with the total elapsed time, as YCSB's
+    client does); other errors are recorded as failures.
+    """
+    chooser = chooser or spec.default_chooser()
+    total = operation_count if operation_count is not None else spec.operation_count
+    for _ in range(total):
+        if deadline_ms is not None and env.now >= deadline_ms:
+            break
+        index = chooser.choose(rng)
+        path = spec.key(index)
+        is_write = rng.random() < spec.write_fraction
+        start = env.now
+        ok = True
+        attempts = 0
+        while True:
+            try:
+                if is_write:
+                    yield client.set_data(path, spec.value(rng))
+                else:
+                    yield client.get_data(path)
+                break
+            except ConnectionLossError:
+                attempts += 1
+                if attempts > max_retries:
+                    ok = False
+                    break
+            except ZkError:
+                ok = False
+                break
+        recorder.record(
+            "write" if is_write else "read", start, env.now - start, ok=ok
+        )
+
+
+@dataclass
+class _ClientPlan:
+    client: ZkClient
+    rng: random.Random
+    recorder: LatencyRecorder
+    chooser: Optional[KeyChooser] = None
+    operation_count: Optional[int] = None
+
+
+def run_ycsb(
+    env: Environment,
+    plans: List[_ClientPlan],
+    spec: YcsbSpec,
+    load_client: Optional[ZkClient] = None,
+    load_indices: Optional[Sequence[int]] = None,
+    load_plan: Optional[List[tuple]] = None,
+    settle_ms: float = 500.0,
+    max_ms: float = 1e9,
+) -> None:
+    """Run load phase + all client plans to completion (blocking helper).
+
+    ``load_plan`` — a list of ``(client, indices)`` pairs — loads each
+    record range through a specific client (used by the WK-hot setups so
+    creating a partition's records happens at the site that pre-holds
+    their tokens). Otherwise ``load_client`` creates everything.
+    """
+
+    def orchestrate():
+        if load_plan is not None:
+            for loader, indices in load_plan:
+                if not loader.connected:
+                    yield loader.connect()
+                yield env.process(load_records(loader, spec, indices))
+        else:
+            loader = load_client or plans[0].client
+            if not loader.connected:
+                yield loader.connect()
+            yield env.process(load_records(loader, spec, load_indices))
+        yield env.timeout(settle_ms)  # let replication quiesce
+        procs = []
+        for plan in plans:
+            if not plan.client.connected:
+                yield plan.client.connect()
+        for plan in plans:
+            procs.append(
+                env.process(
+                    ycsb_client(
+                        env,
+                        plan.client,
+                        spec,
+                        plan.rng,
+                        plan.recorder,
+                        chooser=plan.chooser,
+                        operation_count=plan.operation_count,
+                    )
+                )
+            )
+        for proc in procs:
+            yield proc
+
+    process = env.process(orchestrate())
+    deadline = env.now + max_ms
+    while not process.triggered and env.now < deadline:
+        env.run(until=min(deadline, env.now + 5000.0))
+    if not process.triggered:
+        raise RuntimeError("YCSB run did not finish within the time budget")
+    if not process.ok:
+        raise process.exception
+
+
+ClientPlan = _ClientPlan
+__all__.append("ClientPlan")

@@ -1,0 +1,127 @@
+"""Measurement: per-operation samples, percentiles, CDFs, time series."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["LatencyRecorder", "OpSample", "percentile"]
+
+
+def percentile(sorted_values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0..100) of pre-sorted values."""
+    if not sorted_values:
+        raise ValueError("no samples")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("p must be in [0, 100]")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = rank - low
+    # low + delta*f form is exact when both endpoints are equal (the
+    # a*(1-f) + b*f form can round just outside [a, b]).
+    return sorted_values[low] + (sorted_values[high] - sorted_values[low]) * fraction
+
+
+@dataclass(frozen=True)
+class OpSample:
+    """One completed operation."""
+
+    kind: str  # "read" | "write" | domain-specific
+    start: float  # sim ms
+    latency: float  # ms
+    ok: bool = True
+
+
+class LatencyRecorder:
+    """Collects operation samples for one experiment run."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[OpSample] = []
+        self.errors = 0
+
+    def record(self, kind: str, start: float, latency: float, ok: bool = True) -> None:
+        self.samples.append(OpSample(kind, start, latency, ok))
+        if not ok:
+            self.errors += 1
+
+    # -- selection ----------------------------------------------------------
+
+    def latencies(self, kind: Optional[str] = None) -> List[float]:
+        return sorted(
+            s.latency
+            for s in self.samples
+            if s.ok and (kind is None or s.kind == kind)
+        )
+
+    def count(self, kind: Optional[str] = None) -> int:
+        return sum(
+            1 for s in self.samples if s.ok and (kind is None or s.kind == kind)
+        )
+
+    # -- aggregates -----------------------------------------------------------
+
+    def mean_latency(self, kind: Optional[str] = None) -> float:
+        values = self.latencies(kind)
+        if not values:
+            raise ValueError(f"no samples for kind {kind!r}")
+        return sum(values) / len(values)
+
+    def percentile_latency(self, p: float, kind: Optional[str] = None) -> float:
+        return percentile(self.latencies(kind), p)
+
+    def span_ms(self) -> float:
+        """Wall-clock (simulated) span from first start to last completion."""
+        if not self.samples:
+            return 0.0
+        first = min(s.start for s in self.samples)
+        last = max(s.start + s.latency for s in self.samples)
+        return last - first
+
+    def throughput_ops_per_sec(self, kind: Optional[str] = None) -> float:
+        """Completed ops per simulated second over the run's span."""
+        span = self.span_ms()
+        if span <= 0:
+            return 0.0
+        return self.count(kind) / (span / 1000.0)
+
+    def cdf(self, kind: Optional[str] = None) -> List[Tuple[float, float]]:
+        """(latency, cumulative fraction) points for CDF plots (Fig. 5)."""
+        values = self.latencies(kind)
+        n = len(values)
+        return [(value, (index + 1) / n) for index, value in enumerate(values)]
+
+    def fraction_below(self, latency_ms: float, kind: Optional[str] = None) -> float:
+        """Fraction of operations completing within ``latency_ms``."""
+        values = self.latencies(kind)
+        if not values:
+            raise ValueError(f"no samples for kind {kind!r}")
+        return bisect.bisect_right(values, latency_ms) / len(values)
+
+    def timeseries(
+        self, bucket_ms: float, kind: Optional[str] = None
+    ) -> List[Tuple[float, float]]:
+        """Per-bucket throughput (ops/sec), for Fig. 10c-style plots."""
+        if bucket_ms <= 0:
+            raise ValueError("bucket_ms must be positive")
+        buckets: Dict[int, int] = {}
+        for sample in self.samples:
+            if not sample.ok or (kind is not None and sample.kind != kind):
+                continue
+            bucket = int((sample.start + sample.latency) // bucket_ms)
+            buckets[bucket] = buckets.get(bucket, 0) + 1
+        return [
+            (bucket * bucket_ms, count / (bucket_ms / 1000.0))
+            for bucket, count in sorted(buckets.items())
+        ]
+
+    def merged(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """A new recorder with both sample sets (multi-client totals)."""
+        result = LatencyRecorder(name=f"{self.name}+{other.name}")
+        result.samples = self.samples + other.samples
+        result.errors = self.errors + other.errors
+        return result

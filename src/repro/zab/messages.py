@@ -1,0 +1,205 @@
+"""Zab protocol messages.
+
+Message classes are plain dataclasses; the network layer delivers them
+opaquely. Names follow the ZooKeeper implementation where one exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.net.topology import NodeAddress
+from repro.zab.log import LogEntry
+from repro.zab.zxid import Zxid
+
+__all__ = [
+    "Ack",
+    "AckEpoch",
+    "AckNewLeader",
+    "Commit",
+    "Diff",
+    "FollowerInfo",
+    "Inform",
+    "LeaderInfo",
+    "NewLeader",
+    "Ping",
+    "Pong",
+    "Propose",
+    "Snap",
+    "SubmitRequest",
+    "Trunc",
+    "UpToDate",
+    "Vote",
+    "VoteNotification",
+]
+
+
+# -- election ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Vote:
+    """A candidate preference: compare by (last_zxid, node id)."""
+
+    node: NodeAddress
+    last_zxid: Zxid
+
+    def beats(self, other: "Vote") -> bool:
+        return (self.last_zxid, self.node) > (other.last_zxid, other.node)
+
+
+@dataclass(frozen=True)
+class VoteNotification:
+    """Election gossip: the sender's current vote in its current round."""
+
+    sender: NodeAddress
+    vote: Vote
+    round: int
+    sender_state: str  # PeerState value of the sender
+
+
+# -- discovery --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FollowerInfo:
+    """Follower -> prospective leader: my accepted epoch and log tail."""
+
+    sender: NodeAddress
+    accepted_epoch: int
+    last_zxid: Zxid
+
+
+@dataclass(frozen=True)
+class LeaderInfo:
+    """Leader -> follower: the new epoch (a.k.a. NEWEPOCH)."""
+
+    sender: NodeAddress
+    new_epoch: int
+
+
+@dataclass(frozen=True)
+class AckEpoch:
+    """Follower -> leader: epoch accepted; carries history position."""
+
+    sender: NodeAddress
+    current_epoch: int
+    last_zxid: Zxid
+
+
+# -- synchronization ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Diff:
+    """Leader -> follower: entries the follower is missing."""
+
+    sender: NodeAddress
+    entries: List[LogEntry]
+
+
+@dataclass(frozen=True)
+class Trunc:
+    """Leader -> follower: drop log entries after ``truncate_to``."""
+
+    sender: NodeAddress
+    truncate_to: Zxid
+    entries: List[LogEntry] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Snap:
+    """Leader -> follower: full log snapshot."""
+
+    sender: NodeAddress
+    entries: List[LogEntry]
+
+
+@dataclass(frozen=True)
+class NewLeader:
+    """Leader -> follower: end of sync for the new epoch."""
+
+    sender: NodeAddress
+    epoch: int
+
+
+@dataclass(frozen=True)
+class AckNewLeader:
+    sender: NodeAddress
+    epoch: int
+
+
+@dataclass(frozen=True)
+class UpToDate:
+    """Leader -> follower: the new epoch now serves traffic.
+
+    ``committed_to`` is the leader's commit point at activation; entries the
+    learner holds beyond it are still in flight and must not be applied yet.
+    """
+
+    sender: NodeAddress
+    epoch: int
+    committed_to: Zxid = Zxid.ZERO
+
+
+# -- broadcast ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """Any server -> leader: please broadcast this transaction.
+
+    ``ctx`` is an opaque correlation value returned in the commit callback
+    so the request-processor layer can find the waiting client.
+    """
+
+    sender: NodeAddress
+    txn: Any
+    ctx: Any = None
+
+
+@dataclass(frozen=True)
+class Propose:
+    sender: NodeAddress
+    zxid: Zxid
+    txn: Any
+
+
+@dataclass(frozen=True)
+class Ack:
+    sender: NodeAddress
+    zxid: Zxid
+
+
+@dataclass(frozen=True)
+class Commit:
+    sender: NodeAddress
+    zxid: Zxid
+
+
+@dataclass(frozen=True)
+class Inform:
+    """Leader -> observer: a committed transaction (observers skip voting)."""
+
+    sender: NodeAddress
+    zxid: Zxid
+    txn: Any
+
+
+# -- liveness ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Ping:
+    sender: NodeAddress
+    epoch: int
+    # Leader piggybacks its last committed zxid so lagging followers can
+    # detect gaps (they resync via FollowerInfo if needed).
+    last_committed: Optional[Zxid] = None
+
+
+@dataclass(frozen=True)
+class Pong:
+    sender: NodeAddress
+    epoch: int

@@ -1,0 +1,726 @@
+"""The Zab peer state machine.
+
+One :class:`ZabPeer` per server. A peer is LOOKING until an election
+completes, then LEADING or FOLLOWING (or OBSERVING for non-voting learners).
+The peer owns a durable transaction log; the replicated state machine above
+it registers ``on_commit`` and applies transactions in commit (zxid) order.
+
+Protocol structure follows Zab's four phases (election, discovery,
+synchronization, broadcast); see the package docstring for the mapping.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.net.topology import NodeAddress
+from repro.net.transport import Network
+from repro.sim.kernel import Environment, Interrupt
+from repro.sim.store import StoreClosed
+from repro.zab.config import EnsembleConfig
+from repro.zab.log import TxnLog
+from repro.zab.messages import (
+    Ack,
+    AckEpoch,
+    AckNewLeader,
+    Commit,
+    Diff,
+    FollowerInfo,
+    Inform,
+    LeaderInfo,
+    NewLeader,
+    Ping,
+    Pong,
+    Propose,
+    Snap,
+    SubmitRequest,
+    Trunc,
+    UpToDate,
+    Vote,
+    VoteNotification,
+)
+from repro.zab.zxid import Zxid
+
+__all__ = ["PeerState", "ZabPeer"]
+
+
+class PeerState(str, enum.Enum):
+    LOOKING = "looking"
+    FOLLOWING = "following"
+    LEADING = "leading"
+    OBSERVING = "observing"
+    DOWN = "down"
+
+
+class ZabPeer:
+    """A single Zab server: voter or observer."""
+
+    def __init__(
+        self,
+        env: Environment,
+        net: Network,
+        addr: NodeAddress,
+        config: EnsembleConfig,
+        name: str = "",
+    ):
+        if not (config.is_voter(addr) or config.is_observer(addr)):
+            raise ValueError(f"{addr} is not a member of the ensemble")
+        self.env = env
+        self.net = net
+        self.addr = addr
+        self.config = config
+        self.name = name or str(addr)
+        self.is_observer = config.is_observer(addr)
+
+        self.inbox = net.register(addr)
+
+        # Durable state (survives crash/restart).
+        self.log = TxnLog()
+        self.accepted_epoch = 0
+        self.current_epoch = 0
+
+        # Volatile state.
+        self.state = PeerState.DOWN
+        self.leader_addr: Optional[NodeAddress] = None
+        self.last_committed = Zxid.ZERO
+        self._last_applied = Zxid.ZERO
+
+        # Election state.
+        self._round = 0
+        self._vote: Optional[Vote] = None
+        self._round_votes: Dict[NodeAddress, Vote] = {}
+
+        # Leader state.
+        self._next_counter = 0
+        self._pending: List[Zxid] = []  # proposals awaiting quorum, in order
+        self._acks: Dict[Zxid, Set[NodeAddress]] = {}
+        self._active_followers: Set[NodeAddress] = set()
+        self._active_observers: Set[NodeAddress] = set()
+        self._discovery_epochs: Dict[NodeAddress, int] = {}
+        self._synced_to: Dict[NodeAddress, Zxid] = {}
+        self._newleader_acks: Set[NodeAddress] = set()
+        self._epoch_established = False
+        self._broadcast_active = False
+        self._last_heard: Dict[NodeAddress, float] = {}
+
+        # Follower/observer state.
+        self._last_leader_contact = 0.0
+
+        # Hooks.
+        self.on_commit: Optional[Callable[[Zxid, Any], None]] = None
+        # Called when a SNAP rewrites history: the state machine above must
+        # reset to empty before commits are re-applied from zero.
+        self.on_reset: Optional[Callable[["ZabPeer"], None]] = None
+        # If set, forwarded SubmitRequests are routed through this hook on
+        # the leader instead of being proposed directly (WanKeeper inserts
+        # its token check here, mirroring the paper's request processor).
+        self.on_submit: Optional[Callable[[Any], None]] = None
+        self.on_state_change: Optional[Callable[["ZabPeer"], None]] = None
+        self.on_leader_activated: Optional[Callable[["ZabPeer"], None]] = None
+
+        # Metrics.
+        self.commits_delivered = 0
+        self.elections_completed = 0
+
+        self._alive = False
+        self._procs: List[Any] = []
+
+    # ------------------------------------------------------------------ API
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ZabPeer {self.addr} {self.state.value} epoch={self.current_epoch}>"
+
+    @property
+    def is_leader(self) -> bool:
+        return self.state == PeerState.LEADING and self._broadcast_active
+
+    @property
+    def last_zxid(self) -> Zxid:
+        return self.log.last_zxid
+
+    @property
+    def is_alive(self) -> bool:
+        return self._alive
+
+    def start(self) -> None:
+        """Boot the peer: spawn its message loop and timers."""
+        if self._alive:
+            raise RuntimeError(f"{self.name} already started")
+        self._alive = True
+        self._last_leader_contact = self.env.now
+        if self.is_observer:
+            self._set_state(PeerState.OBSERVING)
+        else:
+            self._enter_looking()
+        self._procs = [
+            self.env.process(self._main_loop(), name=f"{self.name}.main"),
+            self.env.process(self._ticker(), name=f"{self.name}.tick"),
+        ]
+
+    def crash(self) -> None:
+        """Crash the peer: drop volatile state, close the inbox."""
+        if not self._alive:
+            return
+        self._alive = False
+        self._set_state(PeerState.DOWN)
+        self.net.crash(self.addr)
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.interrupt("crash")
+        self._procs = []
+
+    def restart(self) -> None:
+        """Restart after a crash; durable log and epochs are retained."""
+        if self._alive:
+            raise RuntimeError(f"{self.name} is running")
+        self.net.restart(self.addr)
+        self.leader_addr = None
+        self.last_committed = Zxid.ZERO
+        self._last_applied = Zxid.ZERO
+        self._reset_leader_state()
+        self._alive = True
+        self._last_leader_contact = self.env.now
+        if self.is_observer:
+            self._set_state(PeerState.OBSERVING)
+        else:
+            self._enter_looking()
+        self._procs = [
+            self.env.process(self._main_loop(), name=f"{self.name}.main"),
+            self.env.process(self._ticker(), name=f"{self.name}.tick"),
+        ]
+
+    def submit(self, txn: Any) -> Zxid:
+        """Leader-only: broadcast ``txn``; returns its zxid."""
+        if not self.is_leader:
+            raise RuntimeError(f"{self.name} is not an active leader")
+        return self._propose(txn)
+
+    def forward_submit(self, txn: Any, ctx: Any = None) -> None:
+        """Follower/observer: forward a transaction to the current leader."""
+        if self.leader_addr is None:
+            raise RuntimeError(f"{self.name} knows no leader")
+        self._send(self.leader_addr, SubmitRequest(self.addr, txn, ctx))
+
+    # -------------------------------------------------------------- plumbing
+
+    def _send(self, dst: NodeAddress, body: Any) -> None:
+        if not self._alive:
+            return
+        self.net.send(self.addr, dst, body)
+
+    def _set_state(self, state: PeerState) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        if self.on_state_change is not None:
+            self.on_state_change(self)
+
+    def _reset_leader_state(self) -> None:
+        self._pending = []
+        self._acks = {}
+        self._active_followers = set()
+        self._active_observers = set()
+        self._discovery_epochs = {}
+        self._synced_to = {}
+        self._newleader_acks = set()
+        self._epoch_established = False
+        self._broadcast_active = False
+        self._last_heard = {}
+
+    # -------------------------------------------------------------- processes
+
+    def _main_loop(self):
+        while self._alive:
+            try:
+                envelope = yield self.inbox.get()
+            except (StoreClosed, Interrupt):
+                return
+            self._dispatch(envelope.src, envelope.body)
+
+    def _ticker(self):
+        interval = self.config.heartbeat_interval_ms
+        while self._alive:
+            try:
+                yield self.env.timeout(interval)
+            except Interrupt:
+                return
+            if not self._alive:
+                return
+            self._on_tick()
+
+    def _on_tick(self) -> None:
+        now = self.env.now
+        timeout = self.config.election_timeout_ms
+        if self.state == PeerState.LOOKING:
+            self._broadcast_vote()
+        elif self.state == PeerState.LEADING:
+            for member in self._active_followers | self._active_observers:
+                self._send(member, Ping(self.addr, self.current_epoch,
+                                        self.last_committed))
+            if self._broadcast_active:
+                heard = sum(
+                    1
+                    for voter in self.config.voters
+                    if voter != self.addr
+                    and now - self._last_heard.get(voter, now) <= timeout
+                )
+                # Count ourselves; step down if we cannot reach a quorum.
+                if not self.config.is_quorum(heard + 1):
+                    self._abandon_leadership()
+        elif self.state == PeerState.FOLLOWING:
+            if now - self._last_leader_contact > timeout:
+                self._enter_looking()
+        elif self.state == PeerState.OBSERVING:
+            if now - self._last_leader_contact > timeout:
+                # Probe the voters for the current leader.
+                for voter in self.config.voters:
+                    self._send(
+                        voter,
+                        FollowerInfo(self.addr, self.accepted_epoch, self.last_zxid),
+                    )
+
+    def _abandon_leadership(self) -> None:
+        self._reset_leader_state()
+        self._enter_looking()
+
+    # -------------------------------------------------------------- dispatch
+
+    def _dispatch(self, src: NodeAddress, msg: Any) -> None:
+        if not self._alive:
+            return
+        handler = {
+            VoteNotification: self._on_vote_notification,
+            FollowerInfo: self._on_follower_info,
+            LeaderInfo: self._on_leader_info,
+            AckEpoch: self._on_ack_epoch,
+            Diff: self._on_diff,
+            Trunc: self._on_trunc,
+            Snap: self._on_snap,
+            NewLeader: self._on_new_leader,
+            AckNewLeader: self._on_ack_new_leader,
+            UpToDate: self._on_up_to_date,
+            Propose: self._on_propose,
+            Ack: self._on_ack,
+            Commit: self._on_commit_msg,
+            Inform: self._on_inform,
+            SubmitRequest: self._on_submit_request,
+            Ping: self._on_ping,
+            Pong: self._on_pong,
+        }.get(type(msg))
+        if handler is None:
+            raise ValueError(f"{self.name}: unhandled message {msg!r}")
+        handler(src, msg)
+
+    # -------------------------------------------------------------- election
+
+    def _enter_looking(self) -> None:
+        self.leader_addr = None
+        self._reset_leader_state()
+        self._set_state(PeerState.LOOKING)
+        self._round += 1
+        self._vote = Vote(self.addr, self.last_zxid)
+        self._round_votes = {self.addr: self._vote}
+        self._broadcast_vote()
+        self._maybe_elect()
+
+    def _broadcast_vote(self) -> None:
+        if self._vote is None:
+            return
+        note = VoteNotification(self.addr, self._vote, self._round, self.state.value)
+        for voter in self.config.voters:
+            if voter != self.addr:
+                self._send(voter, note)
+
+    def _on_vote_notification(self, src: NodeAddress, msg: VoteNotification) -> None:
+        if self.is_observer:
+            return
+        if self.state != PeerState.LOOKING:
+            # Tell the looking peer about the established regime — but only
+            # vouch for a leader we have *recently* heard from, or two
+            # followers of a dead leader can redirect each other at it
+            # forever instead of re-electing.
+            if (
+                msg.sender_state == PeerState.LOOKING.value
+                and self.leader_addr is not None
+                and self._regime_is_fresh()
+            ):
+                reply = VoteNotification(
+                    self.addr,
+                    Vote(self.leader_addr, self.last_zxid),
+                    msg.round,
+                    self.state.value,
+                )
+                self._send(src, reply)
+            return
+
+        if msg.sender_state in (PeerState.FOLLOWING.value, PeerState.LEADING.value):
+            # An established regime exists: join it.
+            self._join_leader(msg.vote.node)
+            return
+
+        if msg.round > self._round:
+            self._round = msg.round
+            own = Vote(self.addr, self.last_zxid)
+            self._vote = msg.vote if msg.vote.beats(own) else own
+            self._round_votes = {self.addr: self._vote, msg.sender: msg.vote}
+            self._broadcast_vote()
+        elif msg.round == self._round:
+            self._round_votes[msg.sender] = msg.vote
+            assert self._vote is not None
+            if msg.vote.beats(self._vote):
+                self._vote = msg.vote
+                self._round_votes[self.addr] = self._vote
+                self._broadcast_vote()
+        else:
+            # Stale round: help the sender catch up.
+            self._broadcast_vote()
+            return
+        self._maybe_elect()
+
+    def _maybe_elect(self) -> None:
+        if self.state != PeerState.LOOKING or self._vote is None:
+            return
+        supporters = sum(
+            1 for vote in self._round_votes.values() if vote == self._vote
+        )
+        if not self.config.is_quorum(supporters):
+            return
+        self.elections_completed += 1
+        if self._vote.node == self.addr:
+            self._become_leader()
+        else:
+            self._join_leader(self._vote.node)
+
+    def _become_leader(self) -> None:
+        self._set_state(PeerState.LEADING)
+        self.leader_addr = self.addr
+        self._reset_leader_state()
+        self._discovery_epochs = {self.addr: self.accepted_epoch}
+        self._maybe_establish_epoch()
+
+    def _join_leader(self, leader: NodeAddress) -> None:
+        self._set_state(PeerState.FOLLOWING)
+        self.leader_addr = leader
+        self._last_leader_contact = self.env.now
+        self._send(
+            leader, FollowerInfo(self.addr, self.accepted_epoch, self.last_zxid)
+        )
+
+    # -------------------------------------------------------------- discovery
+
+    def _regime_is_fresh(self) -> bool:
+        """Did we hear from our leader recently enough to vouch for it?"""
+        if self.state == PeerState.LEADING:
+            return True
+        return (
+            self.env.now - self._last_leader_contact
+            <= self.config.election_timeout_ms / 2.0
+        )
+
+    def _on_follower_info(self, src: NodeAddress, msg: FollowerInfo) -> None:
+        if self.state != PeerState.LEADING:
+            # Redirect: tell the sender about the leader we follow, if any.
+            if (
+                self.state == PeerState.FOLLOWING
+                and self.leader_addr is not None
+                and self._regime_is_fresh()
+            ):
+                self._send(
+                    src,
+                    VoteNotification(
+                        self.addr,
+                        Vote(self.leader_addr, self.last_zxid),
+                        self._round,
+                        self.state.value,
+                    ),
+                )
+            return
+        self._last_heard[src] = self.env.now
+        if self.config.is_observer(src):
+            # Observers don't gate epoch establishment; sync them once the
+            # epoch is live.
+            if self._epoch_established:
+                self._send(src, LeaderInfo(self.addr, self.current_epoch))
+            return
+        self._discovery_epochs[src] = msg.accepted_epoch
+        if self._epoch_established:
+            self._send(src, LeaderInfo(self.addr, self.current_epoch))
+        else:
+            self._maybe_establish_epoch()
+
+    def _maybe_establish_epoch(self) -> None:
+        if self._epoch_established:
+            return
+        if not self.config.is_quorum(len(self._discovery_epochs)):
+            return
+        new_epoch = max(self._discovery_epochs.values()) + 1
+        self.accepted_epoch = new_epoch
+        self.current_epoch = new_epoch
+        self._next_counter = 0
+        self._epoch_established = True
+        for follower in self._discovery_epochs:
+            if follower != self.addr:
+                self._send(follower, LeaderInfo(self.addr, new_epoch))
+        # The leader acks its own NEWLEADER.
+        self._newleader_acks = {self.addr}
+        self._maybe_activate_broadcast()
+
+    def _on_leader_info(self, src: NodeAddress, msg: LeaderInfo) -> None:
+        if self.state not in (PeerState.FOLLOWING, PeerState.OBSERVING):
+            return
+        if msg.new_epoch < self.accepted_epoch:
+            return  # stale leader
+        self.accepted_epoch = msg.new_epoch
+        self.leader_addr = src
+        self._last_leader_contact = self.env.now
+        self._send(src, AckEpoch(self.addr, self.current_epoch, self.last_zxid))
+
+    def _on_ack_epoch(self, src: NodeAddress, msg: AckEpoch) -> None:
+        if self.state != PeerState.LEADING or not self._epoch_established:
+            return
+        self._last_heard[src] = self.env.now
+        self._sync_follower(src, msg.last_zxid)
+
+    # ---------------------------------------------------------- synchronization
+
+    def _sync_follower(self, follower: NodeAddress, follower_last: Zxid) -> None:
+        """Send DIFF/TRUNC/SNAP plus NEWLEADER to one follower.
+
+        During active broadcast only the *committed* prefix is synced;
+        in-flight proposals are re-proposed individually so the joiner votes
+        on them like everyone else. The joiner is added to the recipient
+        sets immediately — FIFO channels guarantee it sees sync before any
+        subsequent proposal/commit, closing the join-window gap.
+        """
+        sync_to = self.last_committed if self._broadcast_active else self.last_zxid
+        synced_entries = [
+            entry
+            for entry in self.log.entries_after(follower_last)
+            if entry.zxid <= sync_to
+        ]
+        if follower_last <= sync_to:
+            if follower_last == Zxid.ZERO or self.log.contains(follower_last):
+                self._send(follower, Diff(self.addr, synced_entries))
+            else:
+                self._send(
+                    follower,
+                    Snap(
+                        self.addr,
+                        [e for e in self.log.snapshot() if e.zxid <= sync_to],
+                    ),
+                )
+        else:
+            # Follower is ahead of our sync point: its extra entries were
+            # never committed (quorum intersection); truncate them away.
+            self._send(follower, Trunc(self.addr, sync_to))
+        self._send(follower, NewLeader(self.addr, self.current_epoch))
+        self._synced_to[follower] = sync_to
+        if self._broadcast_active:
+            # Join the recipient sets now; ship the in-flight tail.
+            if self.config.is_observer(follower):
+                self._active_observers.add(follower)
+            else:
+                self._active_followers.add(follower)
+            self._catch_up(follower)
+
+    def _catch_up(self, member: NodeAddress) -> None:
+        """Ship everything the member missed since its recorded sync point."""
+        synced_to = self._synced_to.get(member, Zxid.ZERO)
+        if self.config.is_observer(member):
+            for entry in self.log.entries_after(synced_to):
+                if entry.zxid <= self.last_committed:
+                    self._send(member, Inform(self.addr, entry.zxid, entry.txn))
+                    self._synced_to[member] = entry.zxid
+        else:
+            for entry in self.log.entries_after(synced_to):
+                self._send(member, Propose(self.addr, entry.zxid, entry.txn))
+                if entry.zxid <= self.last_committed:
+                    self._send(member, Commit(self.addr, entry.zxid))
+            self._synced_to[member] = self.log.last_zxid
+
+    def _on_diff(self, src: NodeAddress, msg: Diff) -> None:
+        if src != self.leader_addr:
+            return
+        self._last_leader_contact = self.env.now
+        for entry in msg.entries:
+            if entry.zxid > self.log.last_zxid:
+                self.log.append(entry.zxid, entry.txn)
+
+    def _on_trunc(self, src: NodeAddress, msg: Trunc) -> None:
+        if src != self.leader_addr:
+            return
+        self._last_leader_contact = self.env.now
+        self.log.truncate_after(msg.truncate_to)
+        for entry in msg.entries:
+            if entry.zxid > self.log.last_zxid:
+                self.log.append(entry.zxid, entry.txn)
+
+    def _on_snap(self, src: NodeAddress, msg: Snap) -> None:
+        if src != self.leader_addr:
+            return
+        self._last_leader_contact = self.env.now
+        self.log.replace_all(msg.entries)
+        # A snapshot may rewrite history below our applied point; the state
+        # machine is rebuilt from scratch by re-applying from zero.
+        self._last_applied = Zxid.ZERO
+        self.last_committed = Zxid.ZERO
+        if self.on_reset is not None:
+            self.on_reset(self)
+
+    def _on_new_leader(self, src: NodeAddress, msg: NewLeader) -> None:
+        if src != self.leader_addr:
+            return
+        self._last_leader_contact = self.env.now
+        self.current_epoch = msg.epoch
+        self._send(src, AckNewLeader(self.addr, msg.epoch))
+
+    def _on_ack_new_leader(self, src: NodeAddress, msg: AckNewLeader) -> None:
+        if self.state != PeerState.LEADING or msg.epoch != self.current_epoch:
+            return
+        self._last_heard[src] = self.env.now
+        self._newleader_acks.add(src)
+        if self._broadcast_active:
+            # Late joiner: activate it immediately.
+            self._activate_member(src)
+            return
+        self._maybe_activate_broadcast()
+
+    def _maybe_activate_broadcast(self) -> None:
+        if self._broadcast_active:
+            return
+        voter_acks = sum(
+            1 for peer in self._newleader_acks if self.config.is_voter(peer)
+        )
+        if not self.config.is_quorum(voter_acks):
+            return
+        self._broadcast_active = True
+        # Entries surviving into the new epoch are now committed.
+        self.last_committed = self.last_zxid
+        self._apply_up_to(self.last_committed)
+        for peer in list(self._newleader_acks):
+            if peer != self.addr:
+                self._activate_member(peer)
+        if self.on_leader_activated is not None:
+            self.on_leader_activated(self)
+
+    def _activate_member(self, member: NodeAddress) -> None:
+        if self.config.is_observer(member):
+            self._active_observers.add(member)
+        else:
+            self._active_followers.add(member)
+        # Ship anything proposed/committed since the member's sync point
+        # (it may have synced during establishment and activated later).
+        self._catch_up(member)
+        self._send(
+            member,
+            UpToDate(self.addr, self.current_epoch, committed_to=self.last_committed),
+        )
+
+    def _on_up_to_date(self, src: NodeAddress, msg: UpToDate) -> None:
+        if src != self.leader_addr:
+            return
+        self._last_leader_contact = self.env.now
+        # The leader's commit point at activation; anything we hold beyond
+        # it is still in flight and commits normally later.
+        if msg.committed_to > self.last_committed:
+            self.last_committed = msg.committed_to
+            self._apply_up_to(self.last_committed)
+
+    # -------------------------------------------------------------- broadcast
+
+    def _propose(self, txn: Any) -> Zxid:
+        self._next_counter += 1
+        zxid = Zxid(self.current_epoch, self._next_counter)
+        self.log.append(zxid, txn)
+        self._pending.append(zxid)
+        self._acks[zxid] = {self.addr}
+        message = Propose(self.addr, zxid, txn)
+        for follower in self._active_followers:
+            self._send(follower, message)
+        self._maybe_commit()
+        return zxid
+
+    def _on_propose(self, src: NodeAddress, msg: Propose) -> None:
+        if src != self.leader_addr or self.state != PeerState.FOLLOWING:
+            return
+        self._last_leader_contact = self.env.now
+        if msg.zxid > self.log.last_zxid:
+            self.log.append(msg.zxid, msg.txn)
+        self._send(src, Ack(self.addr, msg.zxid))
+
+    def _on_ack(self, src: NodeAddress, msg: Ack) -> None:
+        if self.state != PeerState.LEADING:
+            return
+        self._last_heard[src] = self.env.now
+        if msg.zxid in self._acks:
+            self._acks[msg.zxid].add(src)
+            self._maybe_commit()
+
+    def _maybe_commit(self) -> None:
+        """Commit pending proposals in zxid order as quorums form."""
+        while self._pending:
+            zxid = self._pending[0]
+            if not self.config.is_quorum(len(self._acks.get(zxid, ()))):
+                break
+            self._pending.pop(0)
+            self._acks.pop(zxid, None)
+            self.last_committed = zxid
+            entry = self.log.get(zxid)
+            assert entry is not None
+            self._apply_up_to(zxid)
+            for follower in self._active_followers:
+                self._send(follower, Commit(self.addr, zxid))
+            for observer in self._active_observers:
+                self._send(observer, Inform(self.addr, zxid, entry.txn))
+
+    def _on_commit_msg(self, src: NodeAddress, msg: Commit) -> None:
+        if src != self.leader_addr:
+            return
+        self._last_leader_contact = self.env.now
+        self.last_committed = max(self.last_committed, msg.zxid)
+        self._apply_up_to(msg.zxid)
+
+    def _on_inform(self, src: NodeAddress, msg: Inform) -> None:
+        if self.state != PeerState.OBSERVING or src != self.leader_addr:
+            return
+        self._last_leader_contact = self.env.now
+        if msg.zxid > self.log.last_zxid:
+            self.log.append(msg.zxid, msg.txn)
+        self.last_committed = max(self.last_committed, msg.zxid)
+        self._apply_up_to(msg.zxid)
+
+    def _on_submit_request(self, src: NodeAddress, msg: SubmitRequest) -> None:
+        if not self.is_leader:
+            return  # sender will retry after its timeout
+        if self.on_submit is not None:
+            self.on_submit(msg.txn)
+        else:
+            self._propose(msg.txn)
+
+    def _apply_up_to(self, zxid: Zxid) -> None:
+        if self.on_commit is None:
+            self._last_applied = max(self._last_applied, zxid)
+            return
+        for entry in self.log.entries_range(self._last_applied, zxid):
+            self._last_applied = entry.zxid
+            self.commits_delivered += 1
+            self.on_commit(entry.zxid, entry.txn)
+
+    # -------------------------------------------------------------- liveness
+
+    def _on_ping(self, src: NodeAddress, msg: Ping) -> None:
+        if src != self.leader_addr:
+            return
+        self._last_leader_contact = self.env.now
+        if msg.last_committed is not None and self.state == PeerState.FOLLOWING:
+            if msg.last_committed > self.last_committed and self.log.contains(
+                msg.last_committed
+            ):
+                self.last_committed = msg.last_committed
+                self._apply_up_to(msg.last_committed)
+        self._send(src, Pong(self.addr, self.current_epoch))
+
+    def _on_pong(self, src: NodeAddress, msg: Pong) -> None:
+        if self.state == PeerState.LEADING:
+            self._last_heard[src] = self.env.now

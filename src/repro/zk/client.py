@@ -1,0 +1,319 @@
+"""Synchronous ZooKeeper-style client for simulation processes.
+
+Every operation returns a kernel :class:`~repro.sim.kernel.Event`; user
+processes ``yield`` it to block until the reply arrives::
+
+    def app(env, client):
+        yield client.connect()
+        path = yield client.create("/config", b"v1")
+        data, stat = yield client.get_data("/config", watch=True)
+
+Guarantees mirror ZooKeeper's client contract: one session, FIFO order of
+the client's own requests (the client is synchronous: each call is issued
+when the caller yields on it), linearizable writes via the ensemble, and
+possibly-stale local reads. Failures surface as exceptions raised at the
+``yield``: :class:`ApiError` subclasses for replicated outcomes,
+:class:`ConnectionLossError` on request timeout,
+:class:`SessionExpiredError` when the session is gone.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.net.topology import NodeAddress
+from repro.net.transport import Network
+from repro.sim.kernel import Environment, Event, Interrupt
+from repro.sim.store import StoreClosed
+from repro.zk.errors import (
+    ConnectionLossError,
+    SessionExpiredError,
+    error_from_code,
+)
+from repro.zk.ops import (
+    CheckVersionOp,
+    CloseSessionOp,
+    CreateOp,
+    DeleteOp,
+    ExistsOp,
+    GetChildrenOp,
+    GetDataOp,
+    MultiOp,
+    SetDataOp,
+    SyncOp,
+)
+from repro.zk.protocol import (
+    ConnectReply,
+    ConnectRequest,
+    HeartbeatAck,
+    OpReply,
+    OpRequest,
+    SessionExpiredNotice,
+    SessionHeartbeat,
+    WatchNotify,
+)
+from repro.zk.records import WatchEvent
+from repro.zk.server import SESSION_EXPIRED_CODE
+
+__all__ = ["ZkClient"]
+
+
+class ZkClient:
+    """A coordination-service client bound to one server."""
+
+    def __init__(
+        self,
+        env: Environment,
+        net: Network,
+        addr: NodeAddress,
+        server_addr: NodeAddress,
+        session_timeout_ms: float = 6000.0,
+        request_timeout_ms: float = 10000.0,
+        name: str = "",
+    ):
+        self.env = env
+        self.net = net
+        self.addr = addr
+        self.server_addr = server_addr
+        self.session_timeout_ms = session_timeout_ms
+        self.request_timeout_ms = request_timeout_ms
+        self.name = name or str(addr)
+
+        self.inbox = net.register(addr)
+        self.session_id: Optional[str] = None
+        self.expired = False
+
+        self._cxid = 0
+        self._pending: Dict[int, Event] = {}
+        self._connect_event: Optional[Event] = None
+
+        #: Watch events received, in arrival order.
+        self.watch_events: List[WatchEvent] = []
+        #: Optional user callback invoked per watch event.
+        self.on_watch: Optional[Callable[[WatchEvent], None]] = None
+        # (path filter or None, event) pairs waiting on the next watch.
+        self._watch_waiters: List[tuple] = []
+
+        # Metrics.
+        self.ops_completed = 0
+        self.ops_failed = 0
+
+        self._alive = True
+        self._procs = [
+            env.process(self._pump(), name=f"{self.name}.pump"),
+            env.process(self._heartbeater(), name=f"{self.name}.hb"),
+        ]
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def connected(self) -> bool:
+        return self.session_id is not None and not self.expired
+
+    def connect(self) -> Event:
+        """Open a session with the bound server."""
+        event = Event(self.env)
+        if self._connect_event is not None and not self._connect_event.triggered:
+            raise RuntimeError(f"{self.name}: connect already in flight")
+        self._connect_event = event
+        self.net.send(
+            self.addr,
+            self.server_addr,
+            ConnectRequest(self.addr, self.session_timeout_ms),
+        )
+        self._watch_timeout(event, what="connect")
+        return event
+
+    def reconnect(self, server_addr: NodeAddress) -> Event:
+        """Bind to a different server and open a fresh session.
+
+        Unlike ZooKeeper session re-establishment, this creates a *new*
+        session (old ephemerals die with the old session's timeout).
+        """
+        self.server_addr = server_addr
+        self.session_id = None
+        self.expired = False
+        return self.connect()
+
+    # -- operations --------------------------------------------------------
+
+    def create(
+        self,
+        path: str,
+        data: bytes = b"",
+        ephemeral: bool = False,
+        sequential: bool = False,
+    ) -> Event:
+        """Create a znode; resolves to the actual (sequence-expanded) path."""
+        return self._submit(CreateOp(path, data, ephemeral, sequential))
+
+    def delete(self, path: str, version: int = -1) -> Event:
+        """Delete a znode (version -1 = unconditional)."""
+        return self._submit(DeleteOp(path, version))
+
+    def set_data(self, path: str, data: bytes, version: int = -1) -> Event:
+        """Overwrite a znode's data; resolves to the new Stat."""
+        return self._submit(SetDataOp(path, data, version))
+
+    def get_data(self, path: str, watch: bool = False) -> Event:
+        """Read a znode; resolves to ``(data, stat)``."""
+        return self._submit(GetDataOp(path, watch))
+
+    def exists(self, path: str, watch: bool = False) -> Event:
+        """Resolves to the node's Stat, or None if it doesn't exist."""
+        return self._submit(ExistsOp(path, watch))
+
+    def get_children(self, path: str, watch: bool = False) -> Event:
+        """Resolves to the sorted list of child names."""
+        return self._submit(GetChildrenOp(path, watch))
+
+    def multi(self, ops) -> Event:
+        """Atomic batch of write ops; resolves to a list of results."""
+        return self._submit(MultiOp(tuple(ops)))
+
+    def check_version(self, path: str, version: int) -> CheckVersionOp:
+        """Build a version-check op for use inside :meth:`multi`."""
+        return CheckVersionOp(path, version)
+
+    def sync(self, path: str = "/") -> Event:
+        """Flush the commit pipeline to this client's server."""
+        return self._submit(SyncOp(path))
+
+    def close(self) -> Event:
+        """Explicitly close the session (deletes ephemerals)."""
+        if self.session_id is None:
+            raise RuntimeError(f"{self.name}: not connected")
+        event = self._submit(CloseSessionOp(self.session_id))
+        return event
+
+    def wait_watch(self, path: Optional[str] = None) -> Event:
+        """Event that fires on the next watch notification (for ``path``).
+
+        Pair with a ``watch=True`` read: register the watch first, then
+        yield this to block until it fires. Fires with the WatchEvent.
+        """
+        event = Event(self.env)
+        self._watch_waiters.append((path, event))
+        return event
+
+    # ----------------------------------------------------------------- guts
+
+    def _submit(self, op: Any) -> Event:
+        if self.expired:
+            raise SessionExpiredError(self.name)
+        if self.session_id is None:
+            raise RuntimeError(f"{self.name}: not connected")
+        self._cxid += 1
+        cxid = self._cxid
+        event = Event(self.env)
+        self._pending[cxid] = event
+        self.net.send(
+            self.addr,
+            self.server_addr,
+            OpRequest(self.session_id, cxid, op),
+        )
+        self._watch_timeout(event, cxid=cxid, what=type(op).__name__)
+        return event
+
+    def _watch_timeout(
+        self, event: Event, cxid: Optional[int] = None, what: str = ""
+    ) -> None:
+        def guard():
+            yield self.env.timeout(self.request_timeout_ms)
+            if event.triggered:
+                return
+            if cxid is not None:
+                self._pending.pop(cxid, None)
+            self.ops_failed += 1
+            event.fail(
+                ConnectionLossError(
+                    f"{self.name}: {what} timed out after "
+                    f"{self.request_timeout_ms} ms"
+                )
+            )
+
+        self.env.process(guard(), name=f"{self.name}.timeout")
+
+    def _pump(self):
+        while self._alive:
+            try:
+                envelope = yield self.inbox.get()
+            except (StoreClosed, Interrupt):
+                return
+            self._on_message(envelope.body)
+
+    def _on_message(self, msg: Any) -> None:
+        if isinstance(msg, ConnectReply):
+            self.session_id = msg.session_id
+            self.expired = False
+            if self._connect_event is not None and not self._connect_event.triggered:
+                self._connect_event.succeed(msg.session_id)
+        elif isinstance(msg, OpReply):
+            self._on_reply(msg)
+        elif isinstance(msg, WatchNotify):
+            self.watch_events.append(msg.event)
+            if self.on_watch is not None:
+                self.on_watch(msg.event)
+            waiters, self._watch_waiters = self._watch_waiters, []
+            for path, event in waiters:
+                if event.triggered:
+                    continue
+                if path is None or path == msg.event.path:
+                    event.succeed(msg.event)
+                else:
+                    self._watch_waiters.append((path, event))
+        elif isinstance(msg, HeartbeatAck):
+            pass
+        elif isinstance(msg, SessionExpiredNotice):
+            # Only our *current* session matters; notices for sessions we
+            # abandoned (reconnect created a fresh one) are stale.
+            if msg.session_id == self.session_id:
+                self._on_expired()
+        else:
+            raise ValueError(f"{self.name}: unexpected message {msg!r}")
+
+    def _on_reply(self, msg: OpReply) -> None:
+        event = self._pending.pop(msg.cxid, None)
+        if event is None or event.triggered:
+            return  # reply raced with our timeout; drop it
+        if msg.ok:
+            self.ops_completed += 1
+            event.succeed(msg.value)
+        elif msg.error_code == SESSION_EXPIRED_CODE:
+            self.ops_failed += 1
+            self._on_expired(pending_event=event)
+        else:
+            self.ops_failed += 1
+            event.fail(error_from_code(msg.error_code or "", msg.error_path))
+
+    def _on_expired(self, pending_event: Optional[Event] = None) -> None:
+        self.expired = True
+        exc = SessionExpiredError(self.name)
+        if pending_event is not None and not pending_event.triggered:
+            pending_event.fail(exc)
+        pending, self._pending = self._pending, {}
+        for event in pending.values():
+            if not event.triggered:
+                event.fail(SessionExpiredError(self.name))
+
+    def _heartbeater(self):
+        interval = self.session_timeout_ms / 3.0
+        while self._alive:
+            try:
+                yield self.env.timeout(interval)
+            except Interrupt:
+                return
+            if self.session_id is not None and not self.expired:
+                self.net.send(
+                    self.addr,
+                    self.server_addr,
+                    SessionHeartbeat(self.session_id),
+                )
+
+    def stop(self) -> None:
+        """Tear the client down (no more heartbeats; session will expire)."""
+        self._alive = False
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.interrupt("client stopped")
+        self._procs = []

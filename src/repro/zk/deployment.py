@@ -1,0 +1,161 @@
+"""Deployment builders for the paper's ZooKeeper baselines.
+
+Two baseline shapes from §IV-A:
+
+* **plain ZK** — one ensemble whose voters span the WAN (leader pinned to
+  the designated leader site by election priority: remote writes take ~2
+  WAN RTTs because commit quorums cross the WAN);
+* **ZK with observers** — all voters in the leader site, one non-voting
+  observer in each remote site (remote writes take ~1 WAN RTT; reads are
+  local).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.topology import NodeAddress, Topology, VIRGINIA
+from repro.net.transport import Network
+from repro.sim.kernel import Environment, SimulationError
+from repro.zab.config import EnsembleConfig
+from repro.zk.client import ZkClient
+from repro.zk.server import ZkServer
+
+__all__ = ["ZkDeployment", "build_zk_deployment"]
+
+
+@dataclass
+class ZkDeployment:
+    """A running set of coordination servers plus client factory."""
+
+    env: Environment
+    net: Network
+    topology: Topology
+    config: EnsembleConfig
+    servers: List[ZkServer]
+    _clients: List[ZkClient] = field(default_factory=list)
+    _client_counter: int = 0
+
+    def start(self) -> None:
+        for server in self.servers:
+            server.start()
+
+    def stabilize(self, max_ms: float = 60000.0) -> None:
+        """Run the simulation until a leader is active."""
+        deadline = self.env.now + max_ms
+        while self.env.now < deadline:
+            if any(server.is_leader for server in self.servers):
+                return
+            self.env.run(until=self.env.now + 50.0)
+        raise SimulationError("no leader elected within the stabilization window")
+
+    @property
+    def leader(self) -> Optional[ZkServer]:
+        for server in self.servers:
+            if server.is_leader:
+                return server
+        return None
+
+    def server_at(self, site: str) -> ZkServer:
+        """The (first) server in ``site`` — where local clients connect."""
+        for server in self.servers:
+            if server.site == site and server.is_alive:
+                return server
+        raise ValueError(f"no live server in site {site!r}")
+
+    def servers_at(self, site: str) -> List[ZkServer]:
+        return [server for server in self.servers if server.site == site]
+
+    def client(
+        self,
+        site: str,
+        name: str = "",
+        session_timeout_ms: float = 6000.0,
+        request_timeout_ms: float = 10000.0,
+    ) -> ZkClient:
+        """Create a client in ``site`` bound to that site's server."""
+        self._client_counter += 1
+        client_name = name or f"client{self._client_counter}"
+        addr = self.topology.site(site).address(f"{client_name}@{site}")
+        client = ZkClient(
+            self.env,
+            self.net,
+            addr,
+            self.server_at(site).client_addr,
+            session_timeout_ms=session_timeout_ms,
+            request_timeout_ms=request_timeout_ms,
+            name=client_name,
+        )
+        self._clients.append(client)
+        return client
+
+    def tree_fingerprints(self) -> Dict[str, int]:
+        """Data-tree digests per server (replica-consistency checks)."""
+        return {server.name: server.tree.fingerprint() for server in self.servers}
+
+
+def build_zk_deployment(
+    env: Environment,
+    net: Network,
+    topology: Topology,
+    leader_site: str = VIRGINIA,
+    voters_in_leader_site: int = 3,
+    voting_sites: Optional[Sequence[str]] = None,
+    observer_sites: Sequence[str] = (),
+    heartbeat_interval_ms: float = 50.0,
+    election_timeout_ms: float = 300.0,
+    processing_delay_ms: float = 0.02,
+) -> ZkDeployment:
+    """Build one of the two baseline deployments.
+
+    With ``voting_sites`` given, one voter is placed in each named site
+    (paper's plain-ZK setup; repeat a site name for more voters there).
+    Otherwise ``voters_in_leader_site`` voters are placed in
+    ``leader_site``. ``observer_sites`` each get one observer.
+
+    The leader lands in ``leader_site`` because election ties break toward
+    the highest (zxid, address), and the leader-site voter is given the
+    lexicographically greatest name.
+    """
+    voter_addrs: List[NodeAddress] = []
+    if voting_sites is not None:
+        counters: Dict[str, int] = {}
+        for site in voting_sites:
+            counters[site] = counters.get(site, 0) + 1
+            # 'zz' prefix in the leader site wins election ties there.
+            prefix = "zz-voter" if site == leader_site else "voter"
+            voter_addrs.append(
+                topology.site(site).address(f"{prefix}{counters[site]}.zab")
+            )
+    else:
+        for index in range(voters_in_leader_site):
+            voter_addrs.append(
+                topology.site(leader_site).address(f"voter{index}.zab")
+            )
+
+    observer_addrs = [
+        topology.site(site).address(f"observer-{site}.zab")
+        for site in observer_sites
+    ]
+
+    config = EnsembleConfig(
+        voters=voter_addrs,
+        observers=observer_addrs,
+        heartbeat_interval_ms=heartbeat_interval_ms,
+        election_timeout_ms=election_timeout_ms,
+        processing_delay_ms=processing_delay_ms,
+    )
+
+    servers = []
+    for zab_addr in voter_addrs + observer_addrs:
+        client_name = zab_addr.name.replace(".zab", "")
+        client_addr = topology.site(zab_addr.site).address(client_name)
+        servers.append(
+            ZkServer(
+                env, net, zab_addr, client_addr, config,
+                name=f"{zab_addr.site}/{client_name}",
+            )
+        )
+
+    return ZkDeployment(env, net, topology, config, servers)

@@ -1,0 +1,83 @@
+"""ZooKeeper-style error hierarchy.
+
+``ApiError`` subclasses mirror ZooKeeper's ``KeeperException`` codes: they
+are deterministic outcomes of applying an operation against the tree and are
+replicated (every server computes the same error for the same txn).
+``ConnectionLossError`` and ``SessionExpiredError`` are client-visible
+transport/session failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ApiError",
+    "BadVersionError",
+    "ConnectionLossError",
+    "NoChildrenForEphemeralsError",
+    "NoNodeError",
+    "NodeExistsError",
+    "NotEmptyError",
+    "SessionExpiredError",
+    "ZkError",
+]
+
+
+class ZkError(Exception):
+    """Base for everything this service raises."""
+
+
+class ApiError(ZkError):
+    """Deterministic, replicated operation outcome (KeeperException)."""
+
+    code = "api_error"
+
+    def __init__(self, path: str = "", message: str = ""):
+        self.path = path
+        super().__init__(message or f"{self.code}: {path}")
+
+
+class NoNodeError(ApiError):
+    code = "no_node"
+
+
+class NodeExistsError(ApiError):
+    code = "node_exists"
+
+
+class BadVersionError(ApiError):
+    code = "bad_version"
+
+
+class NotEmptyError(ApiError):
+    code = "not_empty"
+
+
+class NoChildrenForEphemeralsError(ApiError):
+    code = "no_children_for_ephemerals"
+
+
+class ConnectionLossError(ZkError):
+    """The client lost its server (timeout / crash); op outcome unknown."""
+
+
+class SessionExpiredError(ZkError):
+    """The session was expired by the ensemble; ephemerals are gone."""
+
+
+#: Registry used to reconstruct ApiErrors from replicated error codes.
+ERROR_BY_CODE = {
+    cls.code: cls
+    for cls in (
+        ApiError,
+        NoNodeError,
+        NodeExistsError,
+        BadVersionError,
+        NotEmptyError,
+        NoChildrenForEphemeralsError,
+    )
+}
+
+
+def error_from_code(code: str, path: str = "") -> ApiError:
+    """Rebuild an :class:`ApiError` from its replicated code."""
+    return ERROR_BY_CODE.get(code, ApiError)(path)

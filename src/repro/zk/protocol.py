@@ -1,0 +1,69 @@
+"""Client <-> server wire messages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.zk.records import WatchEvent
+
+__all__ = [
+    "ConnectReply",
+    "ConnectRequest",
+    "HeartbeatAck",
+    "OpReply",
+    "OpRequest",
+    "SessionExpiredNotice",
+    "SessionHeartbeat",
+    "WatchNotify",
+]
+
+
+@dataclass(frozen=True)
+class ConnectRequest:
+    client: Any  # NodeAddress of the client
+    timeout_ms: float
+
+
+@dataclass(frozen=True)
+class ConnectReply:
+    session_id: str
+    timeout_ms: float
+
+
+@dataclass(frozen=True)
+class OpRequest:
+    session_id: str
+    cxid: int
+    op: Any
+
+
+@dataclass(frozen=True)
+class OpReply:
+    session_id: str
+    cxid: int
+    ok: bool
+    value: Any = None
+    error_code: Optional[str] = None
+    error_path: str = ""
+
+
+@dataclass(frozen=True)
+class WatchNotify:
+    session_id: str
+    event: WatchEvent
+
+
+@dataclass(frozen=True)
+class SessionHeartbeat:
+    session_id: str
+
+
+@dataclass(frozen=True)
+class HeartbeatAck:
+    session_id: str
+
+
+@dataclass(frozen=True)
+class SessionExpiredNotice:
+    session_id: str

@@ -1,0 +1,79 @@
+"""Shared record types: Stat, Znode, watch events."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.zab.zxid import Zxid
+
+__all__ = ["Stat", "WatchEvent", "WatchType", "Znode"]
+
+
+@dataclass(frozen=True)
+class Stat:
+    """Znode metadata, as returned by read operations (ZooKeeper Stat)."""
+
+    czxid: Zxid
+    mzxid: Zxid
+    pzxid: Zxid
+    version: int
+    cversion: int
+    ephemeral_owner: Optional[str]
+    data_length: int
+    num_children: int
+
+    @property
+    def is_ephemeral(self) -> bool:
+        return self.ephemeral_owner is not None
+
+
+class WatchType(str, enum.Enum):
+    """Watch notification types (ZooKeeper EventType)."""
+
+    NODE_CREATED = "node_created"
+    NODE_DELETED = "node_deleted"
+    NODE_DATA_CHANGED = "node_data_changed"
+    NODE_CHILDREN_CHANGED = "node_children_changed"
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    """A fired watch, delivered asynchronously to the watching client."""
+
+    type: WatchType
+    path: str
+
+
+@dataclass
+class Znode:
+    """One node in the replicated tree. Mutable; lives inside DataTree only."""
+
+    path: str
+    data: bytes
+    czxid: Zxid
+    mzxid: Zxid
+    pzxid: Zxid
+    version: int = 0
+    cversion: int = 0
+    ephemeral_owner: Optional[str] = None
+    children: Set[str] = field(default_factory=set)
+    # Monotonic counter for naming sequential children.
+    sequence: int = 0
+
+    @property
+    def is_ephemeral(self) -> bool:
+        return self.ephemeral_owner is not None
+
+    def stat(self) -> Stat:
+        return Stat(
+            czxid=self.czxid,
+            mzxid=self.mzxid,
+            pzxid=self.pzxid,
+            version=self.version,
+            cversion=self.cversion,
+            ephemeral_owner=self.ephemeral_owner,
+            data_length=len(self.data),
+            num_children=len(self.children),
+        )

@@ -1,0 +1,411 @@
+"""The coordination server: request-processor chain over a Zab peer.
+
+Each server owns two network endpoints (as ZooKeeper uses two ports): the
+Zab peer's address for ensemble traffic and a client address for sessions.
+The request path mirrors ZooKeeper's processor chain:
+
+* reads  — served from the local tree after a small processing delay
+  (possibly stale on followers/observers, as in ZooKeeper);
+* writes — wrapped into a :class:`~repro.zk.ops.Txn` and handed to atomic
+  broadcast (leader proposes; follower/observer forwards to the leader); the
+  *origin* server replies to its client once it applies the commit locally.
+
+WanKeeper's level-1 broker extends this class and overrides the write path
+(:meth:`_route_write`) with the token check (paper Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.net.topology import NodeAddress
+from repro.net.transport import Network
+from repro.sim.kernel import Environment, Interrupt
+from repro.sim.store import StoreClosed
+from repro.zab.config import EnsembleConfig
+from repro.zab.peer import PeerState, ZabPeer
+from repro.zab.zxid import Zxid
+from repro.zk.data_tree import ApplyOutcome, DataTree
+from repro.zk.ops import (
+    CloseSessionOp,
+    ExistsOp,
+    GetChildrenOp,
+    GetDataOp,
+    Txn,
+    is_write_op,
+)
+from repro.zk.protocol import (
+    ConnectReply,
+    ConnectRequest,
+    HeartbeatAck,
+    OpReply,
+    OpRequest,
+    SessionExpiredNotice,
+    SessionHeartbeat,
+    WatchNotify,
+)
+from repro.zk.sessions import SessionTracker
+from repro.zk.watches import WatchManager
+
+__all__ = ["ZkServer"]
+
+SESSION_EXPIRED_CODE = "session_expired"
+
+
+class ZkServer:
+    """One coordination server (voter or observer) plus its client port."""
+
+    def __init__(
+        self,
+        env: Environment,
+        net: Network,
+        zab_addr: NodeAddress,
+        client_addr: NodeAddress,
+        config: EnsembleConfig,
+        name: str = "",
+    ):
+        if zab_addr.site != client_addr.site:
+            raise ValueError("zab and client endpoints must share a site")
+        self.env = env
+        self.net = net
+        self.config = config
+        self.name = name or str(client_addr)
+        self.site = client_addr.site
+        self.client_addr = client_addr
+
+        self.peer = ZabPeer(env, net, zab_addr, config, name=f"{self.name}.zab")
+        self.peer.on_commit = self._on_commit
+        self.peer.on_reset = self._on_tree_reset
+
+        self.client_inbox = net.register(client_addr)
+        self.tree = DataTree()
+        self.watches = WatchManager()
+        self.sessions = SessionTracker(str(client_addr))
+
+        # (session_id, cxid) -> client NodeAddress awaiting a commit reply.
+        self._pending_writes: Dict[Tuple[str, int], NodeAddress] = {}
+        # Clients that connected before this server could serve.
+        self._deferred_connects: list = []
+        # Write txns accepted while no leader was known; retried on tick.
+        self._unrouted_txns: list = []
+        self._system_cxid = 0
+
+        # Metrics.
+        self.reads_served = 0
+        self.writes_accepted = 0
+        self.commits_applied = 0
+
+        self._alive = False
+        self._procs = []
+
+    # ------------------------------------------------------------------ API
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ZkServer {self.name} {self.peer.state.value}>"
+
+    @property
+    def is_leader(self) -> bool:
+        return self.peer.is_leader
+
+    @property
+    def is_alive(self) -> bool:
+        return self._alive
+
+    @property
+    def state(self) -> PeerState:
+        return self.peer.state
+
+    def start(self) -> None:
+        if self._alive:
+            raise RuntimeError(f"{self.name} already started")
+        self._alive = True
+        self.peer.start()
+        self._procs = [
+            self.env.process(self._client_loop(), name=f"{self.name}.clients"),
+            self.env.process(self._session_ticker(), name=f"{self.name}.sessions"),
+        ]
+
+    def crash(self) -> None:
+        if not self._alive:
+            return
+        self._alive = False
+        self.peer.crash()
+        self.net.crash(self.client_addr)
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.interrupt("crash")
+        self._procs = []
+
+    def restart(self) -> None:
+        if self._alive:
+            raise RuntimeError(f"{self.name} is running")
+        self.net.restart(self.client_addr)
+        # Volatile server state is gone; the tree is rebuilt by re-applying
+        # the durable log from zero as the peer rejoins.
+        self.tree = DataTree()
+        self.watches = WatchManager()
+        self.sessions = SessionTracker(str(self.client_addr))
+        self._pending_writes = {}
+        self.peer.restart()
+        self._alive = True
+        self._procs = [
+            self.env.process(self._client_loop(), name=f"{self.name}.clients"),
+            self.env.process(self._session_ticker(), name=f"{self.name}.sessions"),
+        ]
+
+    # ----------------------------------------------------------- client loop
+
+    def _client_loop(self):
+        while self._alive:
+            try:
+                envelope = yield self.client_inbox.get()
+            except (StoreClosed, Interrupt):
+                return
+            self._on_client_message(envelope.src, envelope.body)
+
+    def _on_client_message(self, src: NodeAddress, msg: Any) -> None:
+        if isinstance(msg, ConnectRequest):
+            self._handle_connect(src, msg)
+        elif isinstance(msg, OpRequest):
+            self._handle_op(src, msg)
+        elif isinstance(msg, SessionHeartbeat):
+            self._handle_heartbeat(src, msg)
+        else:
+            raise ValueError(f"{self.name}: unexpected client message {msg!r}")
+
+    @property
+    def is_serving(self) -> bool:
+        """True once this server is synced into an active ensemble."""
+        if self.peer.is_leader:
+            return True
+        return (
+            self.peer.leader_addr is not None
+            and self.peer.current_epoch > 0
+            and self.peer.state in (PeerState.FOLLOWING, PeerState.OBSERVING)
+        )
+
+    def _handle_connect(self, src: NodeAddress, msg: ConnectRequest) -> None:
+        if not self.is_serving:
+            # ZooKeeper servers refuse clients until synced; we queue the
+            # request and answer once the ensemble is ready.
+            self._deferred_connects.append((src, msg))
+            return
+        session = self.sessions.create(msg.client, msg.timeout_ms, self.env.now)
+        self.net.send(
+            self.client_addr,
+            src,
+            ConnectReply(session.session_id, msg.timeout_ms),
+        )
+
+    def _handle_heartbeat(self, src: NodeAddress, msg: SessionHeartbeat) -> None:
+        if self.sessions.touch(msg.session_id, self.env.now):
+            self.net.send(self.client_addr, src, HeartbeatAck(msg.session_id))
+        else:
+            self.net.send(
+                self.client_addr, src, SessionExpiredNotice(msg.session_id)
+            )
+
+    def _handle_op(self, src: NodeAddress, msg: OpRequest) -> None:
+        session = self.sessions.get(msg.session_id)
+        if session is None or session.expired:
+            self.net.send(
+                self.client_addr,
+                src,
+                OpReply(msg.session_id, msg.cxid, ok=False,
+                        error_code=SESSION_EXPIRED_CODE),
+            )
+            return
+        session.last_heard = self.env.now
+        if is_write_op(msg.op):
+            self._accept_write(src, msg)
+        else:
+            self.env.process(
+                self._serve_read(src, msg), name=f"{self.name}.read"
+            )
+
+    # ---------------------------------------------------------------- reads
+
+    def _serve_read(self, src: NodeAddress, msg: OpRequest):
+        yield self.env.timeout(self.config.processing_delay_ms)
+        if not self._alive:
+            return
+        self._read_reply(src, msg)
+
+    def _read_reply(self, src: NodeAddress, msg: OpRequest) -> None:
+        """Answer a read from the local tree (synchronous)."""
+        self.reads_served += 1
+        op = msg.op
+        try:
+            if isinstance(op, GetDataOp):
+                data, stat = self.tree.get_data(op.path)
+                if op.watch:
+                    self.watches.add_data_watch(op.path, msg.session_id)
+                value: Any = (data, stat)
+            elif isinstance(op, ExistsOp):
+                stat = self.tree.exists(op.path)
+                if op.watch:
+                    self.watches.add_data_watch(op.path, msg.session_id)
+                value = stat
+            elif isinstance(op, GetChildrenOp):
+                value = self.tree.get_children(op.path)
+                if op.watch:
+                    self.watches.add_child_watch(op.path, msg.session_id)
+            else:
+                raise TypeError(f"not a read op: {op!r}")
+        except Exception as exc:  # ApiError (NoNode) — replicate as code
+            code = getattr(exc, "code", None)
+            if code is None:
+                raise
+            self.net.send(
+                self.client_addr,
+                src,
+                OpReply(
+                    msg.session_id,
+                    msg.cxid,
+                    ok=False,
+                    error_code=code,
+                    error_path=getattr(exc, "path", ""),
+                ),
+            )
+            return
+        self.net.send(
+            self.client_addr,
+            src,
+            OpReply(msg.session_id, msg.cxid, ok=True, value=value),
+        )
+
+    # ---------------------------------------------------------------- writes
+
+    def _accept_write(self, src: NodeAddress, msg: OpRequest) -> None:
+        self.writes_accepted += 1
+        self._pending_writes[(msg.session_id, msg.cxid)] = src
+        txn = Txn(
+            session_id=msg.session_id,
+            cxid=msg.cxid,
+            origin=self.client_addr,
+            op=msg.op,
+            origin_site=self.site,
+        )
+        self._route_write(txn)
+
+    def _route_write(self, txn: Txn) -> None:
+        """Hand a write txn to the broadcast layer.
+
+        Overridden by WanKeeper's level-1 broker with the token check.
+        """
+        self._broadcast_or_forward(txn)
+
+    def _broadcast_or_forward(self, txn: Txn) -> None:
+        if self.peer.is_leader:
+            self.peer.submit(txn)
+        elif self.is_serving:
+            self.peer.forward_submit(txn)
+        else:
+            # No leader known yet: park the txn and retry on the next tick.
+            self._unrouted_txns.append(txn)
+
+    def submit_system_txn(self, op: Any) -> None:
+        """Submit a server-originated txn (session expiry etc.)."""
+        self._system_cxid += 1
+        txn = Txn(
+            session_id=f"__system__:{self.name}",
+            cxid=self._system_cxid,
+            origin=self.client_addr,
+            op=op,
+            origin_site=self.site,
+        )
+        self._route_write(txn)
+
+    # ---------------------------------------------------------------- commits
+
+    def _on_commit(self, zxid: Zxid, txn: Txn) -> None:
+        self._commit_client_txn(zxid, txn)
+
+    def _commit_client_txn(self, zxid: Zxid, txn: Txn) -> ApplyOutcome:
+        """Apply one committed client txn: tree, watches, client reply."""
+        outcome = self._apply_txn(zxid, txn)
+        self._fire_watches(outcome)
+        self._maybe_reply(txn, outcome)
+        if isinstance(txn.op, CloseSessionOp):
+            # If the closed session is hosted here, retire it locally.
+            if self.sessions.get(txn.op.session_id) is not None:
+                self.sessions.mark_expired(txn.op.session_id)
+                self.watches.drop_session(txn.op.session_id)
+        return outcome
+
+    def _apply_txn(self, zxid: Zxid, txn: Txn) -> ApplyOutcome:
+        self.commits_applied += 1
+        return self.tree.apply(txn.op, zxid, txn.session_id)
+
+    def _fire_watches(self, outcome: ApplyOutcome) -> None:
+        for event in outcome.events:
+            for session_id, fired in self.watches.trigger(event):
+                session = self.sessions.get(session_id)
+                if session is not None and not session.expired:
+                    self.net.send(
+                        self.client_addr,
+                        session.client,
+                        WatchNotify(session_id, fired),
+                    )
+
+    def _maybe_reply(self, txn: Txn, outcome: ApplyOutcome) -> None:
+        if txn.origin != self.client_addr:
+            return
+        key = (txn.session_id, txn.cxid)
+        client = self._pending_writes.pop(key, None)
+        if client is None:
+            return  # system txn or a retry the client abandoned
+        if outcome.ok:
+            reply = OpReply(txn.session_id, txn.cxid, ok=True, value=outcome.value)
+        else:
+            assert outcome.error is not None
+            reply = OpReply(
+                txn.session_id,
+                txn.cxid,
+                ok=False,
+                error_code=outcome.error.code,
+                error_path=outcome.error.path,
+            )
+        self.net.send(self.client_addr, client, reply)
+
+    def _on_tree_reset(self, _peer: ZabPeer) -> None:
+        """SNAP sync rewrote the log: rebuild the tree from zero."""
+        self.tree = DataTree()
+
+    # ---------------------------------------------------------------- sessions
+
+    def _session_ticker(self):
+        interval = self.config.heartbeat_interval_ms * 2
+        while self._alive:
+            try:
+                yield self.env.timeout(interval)
+            except Interrupt:
+                return
+            if not self._alive:
+                return
+            if self.is_serving:
+                self._drain_deferred()
+            for session in self.sessions.expired_sessions(self.env.now):
+                self._expire_session(session.session_id)
+
+    def _drain_deferred(self) -> None:
+        deferred, self._deferred_connects = self._deferred_connects, []
+        for src, msg in deferred:
+            self._handle_connect(src, msg)
+        unrouted, self._unrouted_txns = self._unrouted_txns, []
+        for txn in unrouted:
+            # Through the full routing path: by now this server may have
+            # become leader and must apply leader-side routing (token
+            # checks in WanKeeper).
+            self._route_write(txn)
+
+    def _expire_session(self, session_id: str) -> None:
+        session = self.sessions.get(session_id)
+        if session is None or session.expired:
+            return
+        self.sessions.mark_expired(session_id)
+        self.watches.drop_session(session_id)
+        self.submit_system_txn(CloseSessionOp(session_id))
+        self.net.send(
+            self.client_addr, session.client, SessionExpiredNotice(session_id)
+        )

@@ -1,0 +1,80 @@
+"""Per-server session tracking.
+
+Sessions live at the server the client connected to (as in ZooKeeper, where
+the session moves with the client connection). The server heartbeats each
+session and, on expiry, submits a replicated ``CloseSessionOp`` that deletes
+the session's ephemeral nodes everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Session", "SessionTracker"]
+
+
+@dataclass
+class Session:
+    session_id: str
+    client: Any  # NodeAddress
+    timeout_ms: float
+    last_heard: float
+    expired: bool = False
+
+
+class SessionTracker:
+    """Tracks live sessions at one server."""
+
+    def __init__(self, owner_name: str):
+        self.owner_name = owner_name
+        self._sessions: Dict[str, Session] = {}
+        self._counter = 0
+
+    def create(self, client: Any, timeout_ms: float, now: float) -> Session:
+        self._counter += 1
+        session = Session(
+            session_id=f"{self.owner_name}#{self._counter}",
+            client=client,
+            timeout_ms=timeout_ms,
+            last_heard=now,
+        )
+        self._sessions[session.session_id] = session
+        return session
+
+    def get(self, session_id: str) -> Optional[Session]:
+        return self._sessions.get(session_id)
+
+    def touch(self, session_id: str, now: float) -> bool:
+        """Record liveness; False if the session is unknown/expired."""
+        session = self._sessions.get(session_id)
+        if session is None or session.expired:
+            return False
+        session.last_heard = now
+        return True
+
+    def expired_sessions(self, now: float) -> List[Session]:
+        """Sessions past their timeout (not yet marked expired)."""
+        return [
+            session
+            for session in self._sessions.values()
+            if not session.expired and now - session.last_heard > session.timeout_ms
+        ]
+
+    def mark_expired(self, session_id: str) -> None:
+        session = self._sessions.get(session_id)
+        if session is not None:
+            session.expired = True
+
+    def remove(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)
+
+    def live_session_ids(self) -> List[str]:
+        return sorted(
+            session_id
+            for session_id, session in self._sessions.items()
+            if not session.expired
+        )
+
+    def __len__(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,67 @@
+"""Per-server watch bookkeeping.
+
+Watches are one-shot and local to the server the client is connected to,
+exactly as in ZooKeeper: a read with ``watch=True`` registers interest; the
+first matching mutation the server applies fires (and removes) the watch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.zk.records import WatchEvent, WatchType
+
+__all__ = ["WatchManager"]
+
+# Which watch tables a given event type consults.
+_DATA_EVENTS = {
+    WatchType.NODE_CREATED,
+    WatchType.NODE_DELETED,
+    WatchType.NODE_DATA_CHANGED,
+}
+_CHILD_EVENTS = {WatchType.NODE_DELETED, WatchType.NODE_CHILDREN_CHANGED}
+
+
+class WatchManager:
+    """Maps paths to watching sessions; pops watchers on trigger."""
+
+    def __init__(self):
+        self._data: Dict[str, Set[str]] = {}
+        self._children: Dict[str, Set[str]] = {}
+
+    def add_data_watch(self, path: str, session_id: str) -> None:
+        """Register a data/exists watch for ``session_id`` on ``path``."""
+        self._data.setdefault(path, set()).add(session_id)
+
+    def add_child_watch(self, path: str, session_id: str) -> None:
+        """Register a children watch for ``session_id`` on ``path``."""
+        self._children.setdefault(path, set()).add(session_id)
+
+    def trigger(self, event: WatchEvent) -> List[Tuple[str, WatchEvent]]:
+        """Fire watches matching ``event``; returns (session, event) pairs."""
+        fired: List[Tuple[str, WatchEvent]] = []
+        if event.type in _DATA_EVENTS:
+            for session_id in sorted(self._data.pop(event.path, ())):
+                fired.append((session_id, event))
+        if event.type in _CHILD_EVENTS:
+            # NODE_DELETED fires child watches as NODE_DELETED on the node
+            # itself (ZooKeeper semantics); CHILDREN_CHANGED fires as-is.
+            for session_id in sorted(self._children.pop(event.path, ())):
+                fired.append((session_id, event))
+        return fired
+
+    def drop_session(self, session_id: str) -> None:
+        """Remove all watches held by a session (client gone)."""
+        for table in (self._data, self._children):
+            empty = []
+            for path, sessions in table.items():
+                sessions.discard(session_id)
+                if not sessions:
+                    empty.append(path)
+            for path in empty:
+                del table[path]
+
+    def watch_count(self) -> int:
+        return sum(len(s) for s in self._data.values()) + sum(
+            len(s) for s in self._children.values()
+        )

@@ -1,0 +1,234 @@
+"""Tests for the BookKeeper substrate."""
+
+import pytest
+
+from repro.bookkeeper import Bookie, BookKeeperClient
+from repro.net import CALIFORNIA, VIRGINIA
+
+from tests.support import fresh_world, plain_zk, run_app
+
+
+def setup_bookkeeper(env, topo, net, deployment, site=VIRGINIA, n_bookies=3):
+    bookies = []
+    for i in range(n_bookies):
+        addr = topo.site(site).address(f"bookie{i}@{site}")
+        bookie = Bookie(env, net, addr)
+        bookie.start()
+        bookies.append(bookie)
+    zk = deployment.client(site)
+    client_addr = topo.site(site).address(f"bkclient@{site}")
+    bk = BookKeeperClient(
+        env, net, client_addr, zk, [b.addr for b in bookies]
+    )
+    return bk, bookies, zk
+
+
+def test_create_write_close_read_ledger():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    bk, bookies, zk = setup_bookkeeper(env, topo, net, deployment)
+
+    def app():
+        yield zk.connect()
+        handle = yield env.process(bk.create_ledger())
+        for i in range(10):
+            entry_id = yield env.process(
+                bk.add_entry(handle, f"entry-{i}".encode())
+            )
+            assert entry_id == i
+        yield env.process(bk.close_ledger(handle))
+        # Reopen and read back.
+        reopened = yield env.process(bk.open_ledger(handle.ledger_id))
+        assert reopened.state == "closed"
+        assert reopened.last_entry == 9
+        payload = yield env.process(bk.read_entry(reopened, 5))
+        return payload
+
+    assert run_app(env, app()) == b"entry-5"
+
+
+def test_entries_reach_write_quorum_of_bookies():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    bk, bookies, zk = setup_bookkeeper(env, topo, net, deployment)
+
+    def app():
+        yield zk.connect()
+        handle = yield env.process(bk.create_ledger())
+        yield env.process(bk.add_entry(handle, b"data"))
+        yield env.timeout(100.0)  # let the third ack land too
+        return handle.ledger_id
+
+    ledger_id = run_app(env, app())
+    stored = sum(1 for b in bookies if b.entry(ledger_id, 0) == b"data")
+    assert stored >= 2
+
+
+def test_ledger_ids_unique_across_writers():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    bk1, bookies, zk1 = setup_bookkeeper(env, topo, net, deployment)
+    zk2 = deployment.client(VIRGINIA)
+    addr2 = topo.site(VIRGINIA).address("bkclient2")
+    bk2 = BookKeeperClient(env, net, addr2, zk2, [b.addr for b in bookies])
+
+    def app():
+        yield zk1.connect()
+        yield zk2.connect()
+        ids = []
+        for _ in range(3):
+            h1 = yield env.process(bk1.create_ledger())
+            h2 = yield env.process(bk2.create_ledger())
+            ids.extend([h1.ledger_id, h2.ledger_id])
+        return ids
+
+    ids = run_app(env, app())
+    assert len(set(ids)) == 6
+
+
+def test_add_to_closed_ledger_rejected():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    bk, _bookies, zk = setup_bookkeeper(env, topo, net, deployment)
+
+    def app():
+        yield zk.connect()
+        handle = yield env.process(bk.create_ledger())
+        yield env.process(bk.close_ledger(handle))
+        try:
+            yield env.process(bk.add_entry(handle, b"too late"))
+        except RuntimeError:
+            return "rejected"
+        return "accepted"
+
+    assert run_app(env, app()) == "rejected"
+
+
+def test_write_survives_one_bookie_crash():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    bk, bookies, zk = setup_bookkeeper(env, topo, net, deployment)
+
+    def app():
+        yield zk.connect()
+        handle = yield env.process(bk.create_ledger())
+        bookies[0].crash()
+        entry_id = yield env.process(bk.add_entry(handle, b"resilient"))
+        return entry_id
+
+    assert run_app(env, app()) == 0
+
+
+def test_quorum_loss_times_out():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    bk, bookies, zk = setup_bookkeeper(env, topo, net, deployment)
+    bk.add_timeout_ms = 2000.0
+
+    def app():
+        yield zk.connect()
+        handle = yield env.process(bk.create_ledger())
+        bookies[0].crash()
+        bookies[1].crash()
+        try:
+            yield env.process(bk.add_entry(handle, b"doomed"))
+        except TimeoutError:
+            return "timeout"
+        return "ok"
+
+    assert run_app(env, app()) == "timeout"
+
+
+def test_validation_of_quorum_configuration():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    zk = deployment.client(VIRGINIA)
+    addr = topo.site(VIRGINIA).address("bkbad")
+    bookie_addr = topo.site(VIRGINIA).address("onlybookie")
+    net.register(bookie_addr)
+    with pytest.raises(ValueError):
+        BookKeeperClient(env, net, addr, zk, [bookie_addr], ensemble_size=3)
+
+
+def test_recovery_open_fences_old_writer():
+    """BookKeeper fencing: a recovery-opener seals the ledger; the old
+    writer's subsequent adds fail."""
+    from repro.bookkeeper.client import BookKeeperClient, LedgerFencedError
+
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    writer, bookies, zk_w = setup_bookkeeper(env, topo, net, deployment)
+    zk_r = deployment.client(VIRGINIA)
+    reader_addr = topo.site(VIRGINIA).address("bkrecover")
+    reader = BookKeeperClient(
+        env, net, reader_addr, zk_r, [b.addr for b in bookies]
+    )
+
+    def app():
+        yield zk_w.connect()
+        yield zk_r.connect()
+        handle = yield env.process(writer.create_ledger())
+        for i in range(5):
+            yield env.process(writer.add_entry(handle, f"e{i}".encode()))
+        # A new reader recovers the ledger (old writer presumed dead).
+        recovered = yield env.process(reader.recover_ledger(handle.ledger_id))
+        assert recovered.state == "closed"
+        assert recovered.last_entry == 4
+        # The old writer is fenced out.
+        try:
+            yield env.process(writer.add_entry(handle, b"too-late"))
+        except LedgerFencedError:
+            return "fenced"
+        return "accepted"
+
+    assert run_app(env, app()) == "fenced"
+
+
+def test_recovery_decides_last_entry_with_partial_writes():
+    from repro.bookkeeper.client import BookKeeperClient
+
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    writer, bookies, zk_w = setup_bookkeeper(env, topo, net, deployment)
+    zk_r = deployment.client(VIRGINIA)
+    reader = BookKeeperClient(
+        env, net, topo.site(VIRGINIA).address("bkrec2"), zk_r,
+        [b.addr for b in bookies],
+    )
+
+    def app():
+        yield zk_w.connect()
+        yield zk_r.connect()
+        handle = yield env.process(writer.create_ledger())
+        yield env.process(writer.add_entry(handle, b"committed"))
+        recovered = yield env.process(reader.recover_ledger(handle.ledger_id))
+        payload = yield env.process(reader.read_entry(recovered, 0))
+        return recovered.last_entry, payload
+
+    last_entry, payload = run_app(env, app())
+    assert last_entry == 0
+    assert payload == b"committed"
+
+
+def test_fence_is_idempotent():
+    from repro.bookkeeper.client import BookKeeperClient
+
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    writer, bookies, zk_w = setup_bookkeeper(env, topo, net, deployment)
+    zk_r = deployment.client(VIRGINIA)
+    reader = BookKeeperClient(
+        env, net, topo.site(VIRGINIA).address("bkrec3"), zk_r,
+        [b.addr for b in bookies],
+    )
+
+    def app():
+        yield zk_w.connect()
+        yield zk_r.connect()
+        handle = yield env.process(writer.create_ledger())
+        yield env.process(writer.add_entry(handle, b"x"))
+        first = yield env.process(reader.recover_ledger(handle.ledger_id))
+        second = yield env.process(reader.recover_ledger(handle.ledger_id))
+        return first.last_entry, second.last_entry
+
+    assert run_app(env, app()) == (0, 0)

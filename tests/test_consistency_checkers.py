@@ -1,0 +1,197 @@
+"""Unit tests for the consistency checkers themselves."""
+
+import pytest
+
+from repro.consistency import (
+    HistoryRecorder,
+    check_causal,
+    check_client_fifo,
+    check_linearizable_per_key,
+    check_linearizable_register,
+    check_read_your_writes,
+)
+
+
+def hist(records):
+    """records: (client, kind, key, value, invoked, completed)"""
+    history = HistoryRecorder()
+    for record in records:
+        history.record(*record)
+    return history
+
+
+# -- linearizability -----------------------------------------------------------
+
+
+def test_sequential_history_linearizable():
+    history = hist([
+        ("c1", "write", "x", 1, 0.0, 1.0),
+        ("c1", "read", "x", 1, 2.0, 3.0),
+        ("c2", "write", "x", 2, 4.0, 5.0),
+        ("c2", "read", "x", 2, 6.0, 7.0),
+    ])
+    assert check_linearizable_register(history.for_key("x"))
+
+
+def test_stale_read_not_linearizable():
+    history = hist([
+        ("c1", "write", "x", 1, 0.0, 1.0),
+        ("c2", "read", "x", None, 5.0, 6.0),  # stale: after write completed
+    ])
+    assert not check_linearizable_register(history.for_key("x"))
+
+
+def test_concurrent_ops_any_order_allowed():
+    # Write and read overlap: read may see either value.
+    for read_value in (None, 7):
+        history = hist([
+            ("c1", "write", "x", 7, 0.0, 10.0),
+            ("c2", "read", "x", read_value, 1.0, 2.0),
+        ])
+        assert check_linearizable_register(history.for_key("x"))
+
+
+def test_read_of_unwritten_value_fails():
+    history = hist([
+        ("c1", "write", "x", 1, 0.0, 1.0),
+        ("c2", "read", "x", 99, 2.0, 3.0),
+    ])
+    assert not check_linearizable_register(history.for_key("x"))
+
+
+def test_two_reads_must_agree_on_order():
+    # w1 then w2 strictly; later read returning w1 after a read of w2 fails.
+    history = hist([
+        ("c1", "write", "x", 1, 0.0, 1.0),
+        ("c1", "write", "x", 2, 2.0, 3.0),
+        ("c2", "read", "x", 2, 4.0, 5.0),
+        ("c3", "read", "x", 1, 6.0, 7.0),
+    ])
+    assert not check_linearizable_register(history.for_key("x"))
+
+
+def test_per_key_checker_isolates_keys():
+    history = hist([
+        ("c1", "write", "x", 1, 0.0, 1.0),
+        ("c1", "write", "y", 1, 2.0, 3.0),
+        ("c2", "read", "x", 1, 4.0, 5.0),
+        ("c2", "read", "y", None, 6.0, 7.0),  # y is stale -> fails
+    ])
+    assert check_linearizable_per_key(history.operations) == ["y"]
+
+
+def test_single_key_checker_rejects_multi_key():
+    history = hist([
+        ("c1", "write", "x", 1, 0.0, 1.0),
+        ("c1", "write", "y", 1, 2.0, 3.0),
+    ])
+    with pytest.raises(ValueError):
+        check_linearizable_register(history.operations)
+
+
+def test_initial_value_respected():
+    history = hist([
+        ("c1", "read", "x", "init", 0.0, 1.0),
+        ("c1", "write", "x", "new", 2.0, 3.0),
+    ])
+    assert check_linearizable_register(history.for_key("x"), initial="init")
+    assert not check_linearizable_register(history.for_key("x"), initial="other")
+
+
+# -- FIFO / read-your-writes ---------------------------------------------------
+
+
+def test_read_your_writes_clean():
+    history = hist([
+        ("c1", "write", "x", 1, 0.0, 1.0),
+        ("c1", "read", "x", 1, 2.0, 3.0),
+    ])
+    assert check_read_your_writes(history) == []
+
+
+def test_read_your_writes_violation():
+    history = hist([
+        ("c1", "write", "x", 1, 0.0, 1.0),
+        ("c1", "read", "x", None, 2.0, 3.0),
+    ])
+    assert len(check_read_your_writes(history)) == 1
+
+
+def test_read_your_writes_ignores_foreign_writers():
+    history = hist([
+        ("c1", "write", "x", 1, 0.0, 1.0),
+        ("c2", "write", "x", 2, 0.5, 1.5),
+        ("c1", "read", "x", 2, 2.0, 3.0),  # newer foreign value is fine
+    ])
+    assert check_read_your_writes(history) == []
+
+
+def test_client_fifo_checks_overlap():
+    history = hist([
+        ("c1", "write", "x", 1, 0.0, 5.0),
+        ("c1", "write", "x", 2, 1.0, 2.0),  # overlaps previous op
+    ])
+    assert len(check_client_fifo(history)) == 1
+
+
+# -- causal ---------------------------------------------------------------------
+
+
+def test_causal_allows_paper_example():
+    """§II-D: (e) may return the initial value when (a) !-> (c)."""
+    history = hist([
+        ("c1", "write", "x", 5, 0.0, 1.0),     # (a)
+        ("c2", "write", "y", 9, 2.0, 3.0),     # (c) — no causal link to (a)
+        ("c2", "read", "y", 9, 4.0, 5.0),      # (d)
+        ("c2", "read", "x", None, 6.0, 7.0),   # (e) returns 0/initial: OK
+    ])
+    assert check_causal(history) == []
+
+
+def test_causal_rejects_when_dependency_exists():
+    """If the same client wrote x then y, reading new y then old x is bad."""
+    history = hist([
+        ("c1", "write", "x", 5, 0.0, 1.0),
+        ("c1", "write", "y", 9, 2.0, 3.0),     # causally after x=5
+        ("c2", "read", "y", 9, 4.0, 5.0),
+        ("c2", "read", "x", None, 6.0, 7.0),   # must see x=5
+    ])
+    assert check_causal(history) != []
+
+
+def test_causal_rejects_reading_unwritten_value():
+    history = hist([
+        ("c1", "read", "x", 42, 0.0, 1.0),
+    ])
+    assert check_causal(history) != []
+
+
+def test_causal_flags_duplicate_write_values():
+    history = hist([
+        ("c1", "write", "x", 5, 0.0, 1.0),
+        ("c2", "write", "x", 5, 2.0, 3.0),
+    ])
+    assert check_causal(history) != []
+
+
+def test_causal_clean_multi_client_run():
+    history = hist([
+        ("c1", "write", "x", 1, 0.0, 1.0),
+        ("c2", "write", "y", 1, 0.0, 1.0),
+        ("c1", "read", "y", 1, 2.0, 3.0),
+        ("c2", "read", "x", 1, 2.0, 3.0),
+        ("c1", "write", "x", 2, 4.0, 5.0),
+        ("c2", "read", "x", 2, 6.0, 7.0),
+    ])
+    assert check_causal(history) == []
+
+
+def test_causal_monotonic_reads_per_session():
+    """Reading v2 then v1 of the same key within one session is a cycle."""
+    history = hist([
+        ("w", "write", "x", 1, 0.0, 1.0),
+        ("w", "write", "x", 2, 2.0, 3.0),
+        ("r", "read", "x", 2, 4.0, 5.0),
+        ("r", "read", "x", 1, 6.0, 7.0),  # went backwards
+    ])
+    assert check_causal(history) != []

@@ -1,0 +1,134 @@
+"""Differential tests: WanKeeper degenerates correctly in special cases."""
+
+import pytest
+
+from repro.net import CALIFORNIA, FRANKFURT, VIRGINIA, Network, wan_topology
+from repro.sim import Environment, seeded_rng
+from repro.wankeeper import NeverMigratePolicy, build_wankeeper_deployment
+
+from tests.support import fresh_world, run_app, zk_with_observers
+
+
+def test_single_site_wankeeper_behaves_like_local_zookeeper():
+    """With only the hub site deployed, WanKeeper is just a ZooKeeper
+    ensemble: every write is a local quorum commit."""
+    env, topo, net = fresh_world()
+    deployment = build_wankeeper_deployment(
+        env, net, topo, sites=(VIRGINIA,), l2_site=VIRGINIA
+    )
+    deployment.start()
+    deployment.stabilize()
+    client = deployment.client(VIRGINIA)
+
+    def app():
+        yield client.connect()
+        latencies = []
+        for i in range(5):
+            start = env.now
+            yield client.create(f"/solo{i}", b"")
+            latencies.append(env.now - start)
+        return latencies
+
+    latencies = run_app(env, app())
+    assert all(latency < 5.0 for latency in latencies)
+
+
+def test_never_migrate_wankeeper_tracks_zk_observer_write_latency():
+    """With migration disabled, WanKeeper's remote writes cost ~1 WAN RTT
+    — the same shape as the ZooKeeper-with-observers baseline."""
+    # WanKeeper, never migrate.
+    env, topo, net = fresh_world()
+    deployment = build_wankeeper_deployment(
+        env, net, topo, policy_factory=NeverMigratePolicy
+    )
+    deployment.start()
+    deployment.stabilize()
+    wk_client = deployment.client(CALIFORNIA)
+
+    def wk_app():
+        yield wk_client.connect()
+        yield wk_client.create("/cmp", b"")
+        samples = []
+        for i in range(5):
+            start = env.now
+            yield wk_client.set_data("/cmp", str(i).encode())
+            samples.append(env.now - start)
+        return samples
+
+    wk_samples = run_app(env, wk_app())
+
+    # ZK with observers.
+    env2, topo2, net2 = fresh_world()
+    zko = zk_with_observers(env2, net2, topo2)
+    zko_client = zko.client(CALIFORNIA)
+
+    def zko_app():
+        yield zko_client.connect()
+        yield zko_client.create("/cmp", b"")
+        samples = []
+        for i in range(5):
+            start = env2.now
+            yield zko_client.set_data("/cmp", str(i).encode())
+            samples.append(env2.now - start)
+        return samples
+
+    zko_samples = run_app(env2, zko_app())
+    wk_mean = sum(wk_samples) / len(wk_samples)
+    zko_mean = sum(zko_samples) / len(zko_samples)
+    # Same ballpark: both ~1 CA<->VA RTT (70 ms), within 20%.
+    assert abs(wk_mean - zko_mean) < 0.2 * zko_mean
+
+
+def test_all_tokens_prepinned_behaves_like_isolated_clusters():
+    """With every record's token pre-placed at its accessor's site and no
+    cross-site access, writes never touch the WAN (modulo heartbeats)."""
+    env, topo, net = fresh_world()
+    keys_ca = [f"/ca{i}" for i in range(3)]
+    keys_fr = [f"/fr{i}" for i in range(3)]
+    tokens = {key: CALIFORNIA for key in keys_ca}
+    tokens.update({key: FRANKFURT for key in keys_fr})
+    deployment = build_wankeeper_deployment(env, net, topo, initial_tokens=tokens)
+    deployment.start()
+    deployment.stabilize()
+    ca = deployment.client(CALIFORNIA)
+    fr = deployment.client(FRANKFURT)
+
+    def app():
+        yield ca.connect()
+        yield fr.connect()
+        latencies = []
+        for key in keys_ca:
+            start = env.now
+            yield ca.create(key, b"x")
+            latencies.append(env.now - start)
+        for key in keys_fr:
+            start = env.now
+            yield fr.create(key, b"x")
+            latencies.append(env.now - start)
+        return latencies
+
+    latencies = run_app(env, app())
+    assert all(latency < 5.0 for latency in latencies)
+
+
+def test_two_site_deployment_works():
+    """Minimal WAN: two sites, one of which is the hub."""
+    env, topo, net = fresh_world()
+    deployment = build_wankeeper_deployment(
+        env, net, topo, sites=(VIRGINIA, FRANKFURT), l2_site=VIRGINIA
+    )
+    deployment.start()
+    deployment.stabilize()
+    client = deployment.client(FRANKFURT)
+
+    def app():
+        yield client.connect()
+        yield client.create("/pair", b"0")
+        yield client.set_data("/pair", b"1")
+        yield env.timeout(300.0)
+        start = env.now
+        yield client.set_data("/pair", b"2")
+        return env.now - start
+
+    assert run_app(env, app()) < 5.0
+    assert len(deployment.servers) == 6

@@ -1,0 +1,144 @@
+"""Dynamic site addition (§II-D) and the primary-site assignment knob (§I)."""
+
+import pytest
+
+from repro.net import CALIFORNIA, FRANKFURT, VIRGINIA
+from repro.wankeeper import build_wankeeper_deployment
+
+from tests.support import fresh_world, run_app
+
+TOKYO = "tokyo"
+TOKYO_LATENCIES = {VIRGINIA: 85.0, CALIFORNIA: 55.0, FRANKFURT: 120.0}
+
+
+def wankeeper(env, net, topo, **kwargs):
+    deployment = build_wankeeper_deployment(env, net, topo, **kwargs)
+    deployment.start()
+    deployment.stabilize()
+    return deployment
+
+
+def test_added_site_joins_and_serves():
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo)
+    seed_client = deployment.client(CALIFORNIA)
+
+    def app():
+        yield seed_client.connect()
+        for i in range(5):
+            yield seed_client.create(f"/pre-{i}", str(i).encode())
+        yield env.timeout(2000.0)
+        deployment.add_site(TOKYO, TOKYO_LATENCIES)
+        yield env.timeout(20000.0)  # elect, discover hub, replay history
+        tokyo_client = deployment.client(TOKYO, request_timeout_ms=30000.0)
+        yield tokyo_client.connect()
+        # The new site received the full history...
+        data, _ = yield tokyo_client.get_data("/pre-3")
+        assert data == b"3"
+        # ...and can write (hub-serialized: fresh start, no tokens).
+        yield tokyo_client.create("/from-tokyo", b"hi")
+        yield env.timeout(3000.0)
+        return True
+
+    run_app(env, app(), timeout_ms=600000.0)
+    # Everyone (old and new) converges.
+    fingerprints = {s.name: s.tree.fingerprint() for s in deployment.servers}
+    assert len(set(fingerprints.values())) == 1, fingerprints
+    assert deployment.site_leader(TOKYO) is not None
+
+
+def test_added_site_earns_tokens_through_locality():
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo)
+
+    def app():
+        deployment.add_site(TOKYO, TOKYO_LATENCIES)
+        yield env.timeout(20000.0)
+        client = deployment.client(TOKYO, request_timeout_ms=30000.0)
+        yield client.connect()
+        yield client.create("/tokyo-data", b"0")
+        yield client.set_data("/tokyo-data", b"1")
+        yield env.timeout(2000.0)
+        start = env.now
+        yield client.set_data("/tokyo-data", b"2")
+        return env.now - start
+
+    latency = run_app(env, app(), timeout_ms=600000.0)
+    assert latency < 10.0  # token migrated to the brand-new site
+    assert "/tokyo-data" in deployment.site_leader(TOKYO).site_tokens.owned
+
+
+def test_add_site_validation():
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo)
+    with pytest.raises(ValueError):
+        deployment.add_site(CALIFORNIA, TOKYO_LATENCIES)
+    with pytest.raises(ValueError):
+        deployment.add_site(TOKYO, {VIRGINIA: 85.0})  # missing latencies
+
+
+def test_pin_token_moves_ownership_without_access():
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo)
+    client = deployment.client(VIRGINIA)
+
+    def app():
+        yield client.connect()
+        yield client.create("/pinned", b"x")
+        yield env.timeout(500.0)
+        deployment.pin_token("/pinned", FRANKFURT)
+        yield env.timeout(3000.0)
+        return True
+
+    run_app(env, app())
+    assert "/pinned" in deployment.site_leader(FRANKFURT).site_tokens.owned
+    assert deployment.hub_leader.hub_tokens.where("/pinned") == FRANKFURT
+
+
+def test_pin_token_back_to_hub():
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo)
+    client = deployment.client(CALIFORNIA)
+
+    def app():
+        yield client.connect()
+        yield client.create("/roamer", b"0")
+        yield client.set_data("/roamer", b"1")  # migrates to California
+        yield env.timeout(500.0)
+        assert "/roamer" in deployment.site_leader(CALIFORNIA).site_tokens.owned
+        deployment.pin_token("/roamer", VIRGINIA)  # recall home
+        yield env.timeout(3000.0)
+        return True
+
+    run_app(env, app())
+    assert deployment.hub_leader.hub_tokens.at_hub("/roamer")
+    assert "/roamer" not in deployment.site_leader(CALIFORNIA).site_tokens.owned
+
+
+def test_pinned_token_enables_local_writes_at_target():
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo)
+    admin = deployment.client(VIRGINIA)
+    fr = deployment.client(FRANKFURT)
+
+    def app():
+        yield admin.connect()
+        yield fr.connect()
+        yield admin.create("/fr-home", b"x")
+        yield env.timeout(500.0)
+        deployment.pin_token("/fr-home", FRANKFURT)
+        yield env.timeout(3000.0)
+        start = env.now
+        yield fr.set_data("/fr-home", b"local!")
+        return env.now - start
+
+    latency = run_app(env, app())
+    assert latency < 10.0
+
+
+def test_assign_token_rejected_on_non_hub():
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo)
+    leader = deployment.site_leader(CALIFORNIA)
+    with pytest.raises(RuntimeError):
+        leader.assign_token("/x", FRANKFURT)

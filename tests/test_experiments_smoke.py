@@ -1,0 +1,109 @@
+"""Smoke tests for the experiment harness (tiny configurations).
+
+The full-size runs live in benchmarks/; these verify the harness plumbing
+(world building, drivers, result shapes) quickly inside the test suite.
+"""
+
+import pytest
+
+from repro.experiments.common import SYSTEMS, build_world, format_table
+from repro.experiments.fig4 import run_write_ratio_cell
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8_cell
+from repro.experiments.fig10 import run_fig10a, run_fig10c
+from repro.net import CALIFORNIA
+
+
+def test_build_world_all_systems():
+    for system in SYSTEMS:
+        world = build_world(system, seed=1)
+        assert world.kind == system
+        client = world.client(CALIFORNIA)
+        assert client is not None
+
+
+def test_build_world_rejects_unknown():
+    with pytest.raises(ValueError):
+        build_world("etcd")
+
+
+def test_format_table():
+    text = format_table(
+        ["name", "value"], [["a", 1.5], ["b", 2]], title="T"
+    )
+    assert "T" in text and "a" in text and "1.50" in text
+
+
+def test_fig4_cell_smoke():
+    cell = run_write_ratio_cell("wk", 0.5, record_count=50, operation_count=150)
+    assert cell.throughput > 0
+    assert cell.write_mean_ms > 0
+    assert cell.read_mean_ms > 0
+    assert cell.recorder.count() == 150
+
+
+def test_fig4_cell_pure_reads():
+    cell = run_write_ratio_cell("zk", 0.0, record_count=30, operation_count=60)
+    assert cell.write_mean_ms is None
+    assert cell.read_mean_ms is not None
+
+
+def test_fig6_smoke():
+    results = run_fig6(
+        setups=("zk_observer", "wk_hot"),
+        record_count=60,
+        operations_per_client=150,
+    )
+    assert set(results) == {"zk_observer", "wk_hot"}
+    for result in results.values():
+        assert result.total_throughput > 0
+        assert set(result.per_site_throughput) == {"california", "frankfurt"}
+    # Hot tokens make WanKeeper dramatically faster even at this scale.
+    assert (
+        results["wk_hot"].total_throughput
+        > results["zk_observer"].total_throughput
+    )
+
+
+def test_fig7_smoke():
+    results = run_fig7(
+        overlaps=(0.0, 1.0),
+        systems=("wk",),
+        record_count=60,
+        operations_per_client=150,
+    )
+    cells = results["wk"]
+    assert cells[0].overlap == 0.0 and cells[1].overlap == 1.0
+    assert cells[0].total_throughput > cells[1].total_throughput
+
+
+def test_fig8_cell_smoke():
+    cell = run_fig8_cell("wk", 300.0, total_duration_ms=5000.0)
+    assert cell.entries_total > 0
+    assert cell.handovers >= 1
+    assert cell.entries_per_sec > 0
+
+
+def test_fig10a_smoke():
+    results = run_fig10a(
+        overlaps=(0.1,),
+        systems=("wk",),
+        record_count=60,
+        operations_per_client=150,
+    )
+    cell = results["wk"][0]
+    assert cell.total_throughput > 0
+    assert not cell.hotspot
+
+
+def test_fig10c_smoke():
+    results = run_fig10c(
+        overlaps=(0.1,),
+        record_count=60,
+        operations_per_client=200,
+        bucket_ms=2000.0,
+    )
+    series = results[0.1]
+    assert set(series) == {"california", "frankfurt"}
+    assert all(len(points) >= 1 for points in series.values())

@@ -1,0 +1,191 @@
+"""Tests for fractional read/write tokens (§VI) and strong read modes."""
+
+import pytest
+
+from repro.net import CALIFORNIA, FRANKFURT, VIRGINIA
+from repro.wankeeper import build_wankeeper_deployment
+
+from tests.support import fresh_world, run_app
+
+
+def wankeeper(env, net, topo, **kwargs):
+    deployment = build_wankeeper_deployment(env, net, topo, **kwargs)
+    deployment.start()
+    deployment.stabilize()
+    return deployment
+
+
+def test_forward_mode_reads_pay_wan_trip():
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo, read_mode="forward")
+    writer = deployment.client(VIRGINIA)
+    reader = deployment.client(CALIFORNIA)
+
+    def app():
+        yield writer.connect()
+        yield reader.connect()
+        yield writer.create("/strong", b"v")
+        yield env.timeout(1000.0)
+        start = env.now
+        data, _ = yield reader.get_data("/strong")
+        assert data == b"v"
+        return env.now - start
+
+    latency = run_app(env, app())
+    rtt = topo.rtt(VIRGINIA, CALIFORNIA)
+    assert latency >= rtt - 5.0
+
+
+def test_forward_mode_read_is_fresh():
+    """A forwarded read returns the hub's latest value, not the stale
+    local replica's."""
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo, read_mode="forward")
+    writer = deployment.client(VIRGINIA)
+    reader = deployment.client(FRANKFURT)
+
+    def app():
+        yield writer.connect()
+        yield reader.connect()
+        yield writer.create("/fresh", b"old")
+        yield env.timeout(1000.0)
+        yield writer.set_data("/fresh", b"new")
+        # Immediately read from Frankfurt: its replica lags (~100 ms),
+        # but the forwarded read is served by the hub.
+        data, _ = yield reader.get_data("/fresh")
+        return data
+
+    assert run_app(env, app()) == b"new"
+
+
+def test_fractional_first_read_remote_then_local():
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo, read_mode="fractional")
+    writer = deployment.client(VIRGINIA)
+    reader = deployment.client(CALIFORNIA)
+
+    def app():
+        yield writer.connect()
+        yield reader.connect()
+        yield writer.create("/leased", b"v1")
+        yield env.timeout(1000.0)
+        start = env.now
+        yield reader.get_data("/leased")
+        first = env.now - start
+        start = env.now
+        data, _ = yield reader.get_data("/leased")
+        second = env.now - start
+        return first, second, data
+
+    first, second, data = run_app(env, app())
+    rtt = topo.rtt(VIRGINIA, CALIFORNIA)
+    assert first >= rtt - 5.0      # lease acquisition pays the WAN trip
+    assert second < 5.0            # served from the lease cache
+    assert data == b"v1"
+
+
+def test_fractional_write_invalidates_leases():
+    """§VI: a write needs all read tokens back — and afterwards readers
+    see the new value, never the stale cache."""
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo, read_mode="fractional")
+    writer = deployment.client(VIRGINIA)
+    reader = deployment.client(CALIFORNIA)
+
+    def app():
+        yield writer.connect()
+        yield reader.connect()
+        yield writer.create("/inval", b"v1")
+        yield env.timeout(1000.0)
+        data, _ = yield reader.get_data("/inval")   # acquires lease
+        assert data == b"v1"
+        yield writer.set_data("/inval", b"v2")      # must invalidate lease
+        data, _ = yield reader.get_data("/inval")   # re-fetch from hub
+        return data
+
+    assert run_app(env, app()) == b"v2"
+
+
+def test_fractional_write_latency_includes_invalidation():
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo, read_mode="fractional")
+    writer = deployment.client(VIRGINIA)
+    reader = deployment.client(CALIFORNIA)
+
+    def app():
+        yield writer.connect()
+        yield reader.connect()
+        yield writer.create("/cost", b"v1")
+        yield env.timeout(1000.0)
+        yield reader.get_data("/cost")  # CA server now holds a lease
+        start = env.now
+        yield writer.set_data("/cost", b"v2")
+        return env.now - start
+
+    latency = run_app(env, app())
+    # The write must wait for the invalidation round trip to California.
+    assert latency >= topo.rtt(VIRGINIA, CALIFORNIA) - 5.0
+
+
+def test_fractional_site_with_write_token_reads_locally():
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo, read_mode="fractional")
+    client = deployment.client(CALIFORNIA)
+
+    def app():
+        yield client.connect()
+        yield client.create("/own", b"0")
+        yield client.set_data("/own", b"1")  # token migrates to CA
+        yield env.timeout(500.0)
+        start = env.now
+        data, _ = yield client.get_data("/own")
+        return env.now - start, data
+
+    latency, data = run_app(env, app())
+    assert latency < 5.0
+    assert data == b"1"
+
+
+def test_lease_expires_as_liveness_backstop():
+    env, topo, net = fresh_world()
+    deployment = wankeeper(
+        env, net, topo, read_mode="fractional", read_lease_ms=500.0
+    )
+    writer = deployment.client(VIRGINIA)
+    reader = deployment.client(CALIFORNIA)
+
+    def app():
+        yield writer.connect()
+        yield reader.connect()
+        yield writer.create("/expiry", b"v1")
+        yield env.timeout(1000.0)
+        yield reader.get_data("/expiry")  # lease for 500 ms
+        yield env.timeout(1000.0)         # lease expired
+        start = env.now
+        yield reader.get_data("/expiry")
+        return env.now - start
+
+    latency = run_app(env, app())
+    assert latency >= topo.rtt(VIRGINIA, CALIFORNIA) - 5.0  # re-fetched
+
+
+def test_bad_read_mode_rejected():
+    env, topo, net = fresh_world()
+    with pytest.raises(ValueError):
+        build_wankeeper_deployment(env, net, topo, read_mode="psychic")
+
+
+def test_forward_mode_missing_node_error():
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo, read_mode="forward")
+    reader = deployment.client(CALIFORNIA)
+
+    def app():
+        from repro.zk import NoNodeError
+
+        yield reader.connect()
+        with pytest.raises(NoNodeError):
+            yield reader.get_data("/nothing")
+        return True
+
+    assert run_app(env, app())

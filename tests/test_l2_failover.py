@@ -1,0 +1,168 @@
+"""Level-2 site failover (paper §II-D: "flexible level-2 site").
+
+When the whole hub site becomes unreachable, the remaining site leaders
+elect (majority of sites) a deterministic successor, whose leader promotes
+itself to level-2; sites re-point, token inventories reconcile, and
+cross-site traffic resumes. When the old hub site reconnects it demotes
+itself and converges onto the new hub's history.
+"""
+
+import pytest
+
+from repro.net import CALIFORNIA, FRANKFURT, VIRGINIA
+from repro.wankeeper import build_wankeeper_deployment
+
+from tests.support import fresh_world, run_app
+
+
+def wankeeper_with_failover(env, net, topo, **kwargs):
+    deployment = build_wankeeper_deployment(
+        env, net, topo, enable_l2_failover=True, **kwargs
+    )
+    deployment.start()
+    deployment.stabilize()
+    return deployment
+
+
+def kill_site(deployment, site):
+    for server in deployment.by_site[site]:
+        server.crash()
+
+
+def partition_site(net, site, others):
+    for other in others:
+        net.partition(site, other)
+
+
+def test_successor_is_deterministic():
+    env, topo, net = fresh_world()
+    deployment = wankeeper_with_failover(env, net, topo)
+    leader = deployment.site_leader(CALIFORNIA)
+    # Sites: california, frankfurt, virginia; hub = virginia.
+    assert leader._successor_site() == CALIFORNIA
+
+
+def test_hub_site_crash_promotes_successor():
+    env, topo, net = fresh_world()
+    deployment = wankeeper_with_failover(env, net, topo)
+    client = deployment.client(FRANKFURT, request_timeout_ms=60000.0)
+
+    def app():
+        yield client.connect()
+        yield client.create("/pre", b"x")
+        kill_site(deployment, VIRGINIA)
+        yield env.timeout(40000.0)  # detection + votes + promotion
+        assert deployment.current_l2_site == CALIFORNIA
+        new_hub = deployment.hub_leader
+        assert new_hub is not None and new_hub.site == CALIFORNIA
+        # Cross-site writes flow again through the new hub.
+        yield client.create("/post", b"y")
+        data, _ = yield client.get_data("/post")
+        return data
+
+    assert run_app(env, app(), timeout_ms=600000.0) == b"y"
+
+
+def test_promotion_preserves_migrated_tokens_via_inventory():
+    env, topo, net = fresh_world()
+    deployment = wankeeper_with_failover(env, net, topo)
+    fr = deployment.client(FRANKFURT, request_timeout_ms=60000.0)
+
+    def app():
+        yield fr.connect()
+        yield fr.create("/fr-token", b"0")
+        yield fr.set_data("/fr-token", b"1")  # token -> Frankfurt
+        yield env.timeout(500.0)
+        kill_site(deployment, VIRGINIA)
+        yield env.timeout(40000.0)
+        new_hub = deployment.hub_leader
+        assert new_hub.site == CALIFORNIA
+        # Wait for Frankfurt's inventory heartbeat to reconcile.
+        yield env.timeout(5000.0)
+        return new_hub.hub_tokens.where("/fr-token")
+
+    assert run_app(env, app(), timeout_ms=600000.0) == FRANKFURT
+
+
+def test_local_writes_never_stop_during_failover():
+    env, topo, net = fresh_world()
+    deployment = wankeeper_with_failover(env, net, topo)
+    fr = deployment.client(FRANKFURT, request_timeout_ms=60000.0)
+
+    def app():
+        yield fr.connect()
+        yield fr.create("/always-on", b"0")
+        yield fr.set_data("/always-on", b"1")  # token -> Frankfurt
+        yield env.timeout(500.0)
+        kill_site(deployment, VIRGINIA)
+        latencies = []
+        for i in range(10):
+            start = env.now
+            yield fr.set_data("/always-on", f"during-{i}".encode())
+            latencies.append(env.now - start)
+            yield env.timeout(2000.0)
+        return latencies
+
+    latencies = run_app(env, app(), timeout_ms=600000.0)
+    # Every write during the outage+failover window committed locally.
+    assert all(latency < 10.0 for latency in latencies)
+
+
+def test_old_hub_demotes_and_converges_after_partition_heals():
+    env, topo, net = fresh_world()
+    deployment = wankeeper_with_failover(env, net, topo)
+    client = deployment.client(FRANKFURT, request_timeout_ms=60000.0)
+
+    def app():
+        yield client.connect()
+        yield client.create("/before-split", b"x")
+        yield env.timeout(2000.0)
+        # Partition the hub site away (servers stay alive).
+        partition_site(net, VIRGINIA, (CALIFORNIA, FRANKFURT))
+        yield env.timeout(40000.0)
+        assert deployment.current_l2_site == CALIFORNIA
+        yield client.create("/during-split", b"y")
+        yield env.timeout(2000.0)
+        net.heal_all()
+        # Old hub hears L2Promoted, demotes, and catches up via replay.
+        yield env.timeout(40000.0)
+        return True
+
+    run_app(env, app(), timeout_ms=600000.0)
+    for server in deployment.by_site[VIRGINIA]:
+        assert server.current_l2_site == CALIFORNIA
+        assert server.tree.node("/during-split") is not None, server.name
+    # All live replicas converge.
+    fingerprints = {
+        s.name: s.tree.fingerprint() for s in deployment.servers if s.is_alive
+    }
+    assert len(set(fingerprints.values())) == 1, fingerprints
+
+
+def test_no_promotion_when_hub_leader_merely_reelects():
+    """An intra-site hub leader change must not trigger promotion."""
+    env, topo, net = fresh_world()
+    deployment = wankeeper_with_failover(env, net, topo)
+    client = deployment.client(CALIFORNIA, request_timeout_ms=60000.0)
+
+    def app():
+        yield client.connect()
+        yield client.create("/steady", b"x")
+        hub = deployment.hub_leader
+        hub.crash()
+        yield env.timeout(30000.0)
+        return deployment.current_l2_site
+
+    assert run_app(env, app(), timeout_ms=600000.0) == VIRGINIA
+
+
+def test_failover_disabled_by_default():
+    env, topo, net = fresh_world()
+    deployment = build_wankeeper_deployment(env, net, topo)
+    deployment.start()
+    deployment.stabilize()
+    kill_site(deployment, VIRGINIA)
+    env.run(until=env.now + 60000.0)
+    # No promotion without the opt-in flag.
+    live = [s for s in deployment.servers if s.is_alive]
+    assert all(s.current_l2_site == VIRGINIA for s in live)

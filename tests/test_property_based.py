@@ -1,0 +1,311 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Environment
+from repro.wankeeper import (
+    ConsecutiveAccessPolicy,
+    HubTokenState,
+    MarkovPredictor,
+    SiteTokenState,
+    token_key,
+    token_keys,
+)
+from repro.workloads import HotspotChooser, UniformChooser, ZipfianChooser, percentile
+from repro.zab import TxnLog, Zxid
+from repro.zk import CreateOp, DataTree, DeleteOp, SetDataOp
+from repro.zk.paths import basename, parent_of, validate_path
+
+# -- strategies ---------------------------------------------------------------
+
+path_component = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789",
+    min_size=1,
+    max_size=8,
+)
+
+znode_path = st.lists(path_component, min_size=1, max_size=4).map(
+    lambda parts: "/" + "/".join(parts)
+)
+
+
+# -- paths ---------------------------------------------------------------------
+
+
+@given(znode_path)
+def test_valid_paths_roundtrip(path):
+    assert validate_path(path) == path
+    parent = parent_of(path)
+    if parent == "/":
+        assert path == "/" + basename(path)
+    else:
+        assert path == parent + "/" + basename(path)
+
+
+@given(znode_path)
+def test_token_key_idempotent(path):
+    key = token_key(path)
+    assert token_key(key) == key
+
+
+@given(znode_path, st.integers(min_value=0, max_value=99))
+def test_sequential_child_maps_to_parent_token(path, seq):
+    child = f"{path}/item-{seq:010d}"
+    assert token_key(child) == path
+
+
+# -- zxids ----------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_zxid_pack_unpack_roundtrip(epoch, counter):
+    zxid = Zxid(epoch, counter)
+    assert Zxid.unpack(zxid.packed()) == zxid
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10),
+            st.integers(min_value=0, max_value=1000),
+        ),
+        min_size=2,
+        max_size=20,
+    )
+)
+def test_zxid_order_matches_packed_order(pairs):
+    zxids = [Zxid(e, c) for e, c in pairs]
+    by_value = sorted(zxids)
+    by_packed = sorted(zxids, key=lambda z: z.packed())
+    assert by_value == by_packed
+
+
+# -- txn log ---------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=1, max_value=200), min_size=1, max_size=40))
+def test_log_append_monotone_and_truncate(counters):
+    log = TxnLog()
+    appended = []
+    last = Zxid.ZERO
+    for counter in counters:
+        candidate = Zxid(1, last.counter + counter)
+        log.append(candidate, f"txn-{candidate}")
+        appended.append(candidate)
+        last = candidate
+    assert log.last_zxid == appended[-1]
+    # entries_after/truncate_after partition the log at any cut point.
+    cut = appended[len(appended) // 2]
+    after = [entry.zxid for entry in log.entries_after(cut)]
+    log.truncate_after(cut)
+    kept = [entry.zxid for entry in log]
+    assert kept + after == appended
+
+
+# -- data tree --------------------------------------------------------------------
+
+
+@st.composite
+def tree_ops(draw):
+    """A random batch of ops over a small path universe."""
+    universe = ["/a", "/b", "/a/x", "/a/y", "/b/z"]
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=25))):
+        kind = draw(st.sampled_from(["create", "set", "delete"]))
+        path = draw(st.sampled_from(universe))
+        if kind == "create":
+            ops.append(CreateOp(path, draw(st.binary(max_size=4))))
+        elif kind == "set":
+            ops.append(SetDataOp(path, draw(st.binary(max_size=4))))
+        else:
+            ops.append(DeleteOp(path))
+    return ops
+
+
+@given(tree_ops())
+@settings(max_examples=60)
+def test_data_tree_determinism(ops):
+    """Two trees applying the same ops in the same order stay identical."""
+    t1, t2 = DataTree(), DataTree()
+    for index, op in enumerate(ops, start=1):
+        o1 = t1.apply(op, Zxid(1, index), "s")
+        o2 = t2.apply(op, Zxid(1, index), "s")
+        assert o1.ok == o2.ok
+        assert type(o1.error) is type(o2.error)
+    assert t1.fingerprint() == t2.fingerprint()
+
+
+@given(tree_ops())
+@settings(max_examples=60)
+def test_data_tree_parent_child_invariants(ops):
+    """Parents' child sets always match the node table."""
+    tree = DataTree()
+    for index, op in enumerate(ops, start=1):
+        tree.apply(op, Zxid(1, index), "s")
+    for path in tree.paths():
+        node = tree.node(path)
+        if path != "/":
+            parent = tree.node(parent_of(path))
+            assert parent is not None, f"orphan {path}"
+            assert basename(path) in parent.children
+        for child in node.children:
+            child_path = f"{path}/{child}" if path != "/" else f"/{child}"
+            assert child_path in tree, f"dangling child {child_path}"
+
+
+@given(st.lists(st.binary(max_size=6), min_size=1, max_size=15))
+def test_data_tree_version_counts_sets(datas):
+    tree = DataTree()
+    tree.apply(CreateOp("/v", b""), Zxid(1, 1), "s")
+    for index, data in enumerate(datas, start=2):
+        tree.apply(SetDataOp("/v", data), Zxid(1, index), "s")
+    assert tree.node("/v").version == len(datas)
+    assert tree.node("/v").data == datas[-1]
+
+
+# -- token state ---------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["grant", "recall", "admit", "retire", "release"]),
+            st.sampled_from(["/k1", "/k2", "/k3"]),
+        ),
+        max_size=40,
+    )
+)
+def test_site_token_state_invariants(events):
+    """inflight never negative; outgoing subset of owned; holds() implies
+    owned and not outgoing."""
+    state = SiteTokenState("ca")
+    admitted = {}
+    for kind, key in events:
+        if kind == "grant":
+            state.grant(key)
+        elif kind == "recall":
+            state.start_recall(key)
+        elif kind == "admit":
+            if state.holds(key):
+                state.admit([key])
+                admitted[key] = admitted.get(key, 0) + 1
+        elif kind == "retire":
+            if admitted.get(key, 0) > 0:
+                state.retire([key])
+                admitted[key] -= 1
+        elif kind == "release":
+            state.release(key)
+            admitted.pop(key, None)
+        for k, count in state.inflight.items():
+            assert count > 0
+        assert state.outgoing <= state.owned | state.outgoing
+        for k in list(state.owned):
+            if state.holds(k):
+                assert k not in state.outgoing
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["grant", "return"]),
+            st.sampled_from(["/k1", "/k2"]),
+            st.sampled_from(["ca", "fr"]),
+        ),
+        max_size=30,
+    )
+)
+def test_hub_token_state_single_owner(events):
+    hub = HubTokenState()
+    for kind, key, site in events:
+        if kind == "grant":
+            hub.grant(key, site)
+        else:
+            hub.accept_return(key)
+        # Each key has at most one owning site.
+        owners = [s for s in ("ca", "fr") if key in hub.held_by(s)]
+        assert len(owners) <= 1
+
+
+# -- policies --------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.lists(st.sampled_from(["ca", "fr", "va"]), min_size=1, max_size=40),
+)
+def test_consecutive_policy_fires_exactly_at_r(r, accesses):
+    """The policy returns True precisely on the r-th consecutive access."""
+    policy = ConsecutiveAccessPolicy(r=r)
+    streak = 0
+    last = None
+    for site in accesses:
+        streak = streak + 1 if site == last else 1
+        expected = streak >= r
+        got = policy.observe_and_decide("/k", site)
+        assert got == expected
+        if expected:
+            streak = 0
+            last = None
+        else:
+            last = site
+
+
+@given(st.lists(st.sampled_from(["ca", "fr"]), min_size=1, max_size=60))
+def test_predictor_probabilities_normalized(accesses):
+    predictor = MarkovPredictor(window=16)
+    for site in accesses:
+        predictor.observe("/k", site)
+    for site in ("ca", "fr"):
+        prediction = predictor.predict_next_site("/k", site)
+        if prediction is not None:
+            assert 0.0 < prediction[1] <= 1.0
+
+
+# -- workload choosers --------------------------------------------------------------
+
+
+@given(st.integers(min_value=1, max_value=500), st.integers(min_value=0, max_value=10**6))
+def test_choosers_stay_in_range(count, seed):
+    rng = random.Random(seed)
+    for chooser in (
+        UniformChooser(count),
+        ZipfianChooser(count),
+        HotspotChooser(count, rotation=count // 3),
+    ):
+        for _ in range(20):
+            assert 0 <= chooser.choose(rng) < count
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50),
+    st.floats(min_value=0.0, max_value=100.0),
+)
+def test_percentile_bounded_by_extremes(values, p):
+    ordered = sorted(values)
+    result = percentile(ordered, p)
+    assert ordered[0] <= result <= ordered[-1]
+
+
+# -- kernel determinism ---------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=1, max_size=20))
+def test_kernel_timeout_ordering(delays):
+    env = Environment()
+    fired = []
+
+    def waiter(env, delay, index):
+        yield env.timeout(delay)
+        fired.append((env.now, index))
+
+    for index, delay in enumerate(delays):
+        env.process(waiter(env, delay, index))
+    env.run()
+    times = [t for t, _i in fired]
+    assert times == sorted(times)
+    assert len(fired) == len(delays)

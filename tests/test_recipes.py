@@ -1,0 +1,154 @@
+"""Tests for the coordination recipes (locks, leader election)."""
+
+from repro.net import CALIFORNIA, FRANKFURT, VIRGINIA
+from repro.wankeeper import build_wankeeper_deployment
+from repro.zk.recipes import DistributedLock, FairLock, LeaderElector
+
+from tests.support import fresh_world, plain_zk, run_app
+
+
+def test_simple_lock_mutual_exclusion():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    holders = []
+
+    def contender(name):
+        client = deployment.client(VIRGINIA)
+        lock = DistributedLock(env, client, "/lock")
+        yield client.connect()
+        for _ in range(3):
+            yield env.process(lock.acquire())
+            holders.append(("enter", name, env.now))
+            yield env.timeout(10.0)
+            holders.append(("exit", name, env.now))
+            yield env.process(lock.release())
+
+    def app():
+        procs = [env.process(contender(f"c{i}")) for i in range(3)]
+        for proc in procs:
+            yield proc
+        return True
+
+    run_app(env, app())
+    # Critical sections must not overlap.
+    inside = None
+    for kind, name, _t in holders:
+        if kind == "enter":
+            assert inside is None, f"{name} entered while {inside} held the lock"
+            inside = name
+        else:
+            assert inside == name
+            inside = None
+    assert len(holders) == 18
+
+
+def test_fair_lock_grants_in_queue_order():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    grants = []
+
+    def contender(name, delay):
+        client = deployment.client(VIRGINIA)
+        lock = FairLock(env, client, "/fairlock")
+        yield client.connect()
+        yield env.timeout(delay)
+        yield env.process(lock.acquire())
+        grants.append(name)
+        yield env.timeout(50.0)
+        yield env.process(lock.release())
+
+    def app():
+        procs = [
+            env.process(contender(f"c{i}", delay=i * 5.0)) for i in range(4)
+        ]
+        for proc in procs:
+            yield proc
+        return True
+
+    run_app(env, app())
+    assert grants == ["c0", "c1", "c2", "c3"]
+
+
+def test_fair_lock_works_across_wan_sites_with_wankeeper():
+    env, topo, net = fresh_world()
+    deployment = build_wankeeper_deployment(env, net, topo)
+    deployment.start()
+    deployment.stabilize()
+    grants = []
+
+    def contender(site, name):
+        client = deployment.client(site)
+        lock = FairLock(env, client, "/geo-lock")
+        yield client.connect()
+        yield env.process(lock.acquire())
+        grants.append(name)
+        yield env.timeout(20.0)
+        yield env.process(lock.release())
+
+    def app():
+        procs = [
+            env.process(contender(CALIFORNIA, "ca1")),
+            env.process(contender(FRANKFURT, "fr1")),
+            env.process(contender(CALIFORNIA, "ca2")),
+        ]
+        for proc in procs:
+            yield proc
+        return True
+
+    run_app(env, app())
+    assert sorted(grants) == ["ca1", "ca2", "fr1"]
+
+
+def test_leader_election_single_winner_and_failover():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    clients = [deployment.client(VIRGINIA) for _ in range(3)]
+    electors = [
+        LeaderElector(env, client, "/election") for client in clients
+    ]
+    events = []
+
+    def candidate(index):
+        client, elector = clients[index], electors[index]
+        yield client.connect()
+        yield env.process(elector.join())
+        yield env.process(elector.await_leadership())
+        events.append((index, env.now))
+
+    def app():
+        procs = [env.process(candidate(i)) for i in range(3)]
+        # First joiner wins quickly.
+        yield procs[0]
+        assert electors[0].is_leader
+        # Leader resigns; next in line takes over.
+        yield env.process(electors[0].resign())
+        yield procs[1]
+        assert electors[1].is_leader
+        yield env.process(electors[1].resign())
+        yield procs[2]
+        return [index for index, _t in events]
+
+    order = run_app(env, app())
+    assert order == [0, 1, 2]
+
+
+def test_leader_election_failover_on_session_close():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    a = deployment.client(VIRGINIA)
+    b = deployment.client(VIRGINIA)
+    elector_a = LeaderElector(env, a, "/el2")
+    elector_b = LeaderElector(env, b, "/el2")
+
+    def app():
+        yield a.connect()
+        yield b.connect()
+        yield env.process(elector_a.join())
+        yield env.process(elector_a.await_leadership())
+        yield env.process(elector_b.join())
+        # a's session dies; its ephemeral candidate node disappears.
+        yield a.close()
+        yield env.process(elector_b.await_leadership())
+        return elector_b.is_leader
+
+    assert run_app(env, app())

@@ -1,0 +1,264 @@
+"""Tests for barriers, queues, membership, and service discovery."""
+
+from repro.net import CALIFORNIA, FRANKFURT, VIRGINIA
+from repro.wankeeper import build_wankeeper_deployment
+from repro.zk.recipes import (
+    Barrier,
+    DistributedQueue,
+    DoubleBarrier,
+    GroupMembership,
+    ServiceDiscovery,
+)
+
+from tests.support import fresh_world, plain_zk, run_app
+
+
+def wankeeper(env, net, topo, **kwargs):
+    deployment = build_wankeeper_deployment(env, net, topo, **kwargs)
+    deployment.start()
+    deployment.stabilize()
+    return deployment
+
+
+def test_barrier_blocks_until_lifted():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    controller = deployment.client(VIRGINIA)
+    released_at = []
+
+    def waiter(name):
+        client = deployment.client(VIRGINIA)
+        barrier = Barrier(env, client, "/gate")
+        yield client.connect()
+        yield env.process(barrier.wait())
+        released_at.append((name, env.now))
+
+    def app():
+        yield controller.connect()
+        barrier = Barrier(env, controller, "/gate")
+        yield env.process(barrier.set())
+        procs = [env.process(waiter(f"w{i}")) for i in range(3)]
+        yield env.timeout(500.0)
+        assert released_at == []  # everyone still blocked
+        lift_time = env.now
+        yield env.process(barrier.lift())
+        for proc in procs:
+            yield proc
+        return lift_time
+
+    lift_time = run_app(env, app())
+    assert len(released_at) == 3
+    assert all(t >= lift_time for _n, t in released_at)
+
+
+def test_double_barrier_synchronizes_start_and_end():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    events = []
+
+    def worker(name, work_ms):
+        client = deployment.client(VIRGINIA)
+        barrier = DoubleBarrier(env, client, "/compute", name, count=3)
+        yield client.connect()
+        yield env.process(barrier.enter())
+        events.append(("start", name, env.now))
+        yield env.timeout(work_ms)
+        yield env.process(barrier.leave())
+        events.append(("end", name, env.now))
+
+    def app():
+        procs = [
+            env.process(worker(f"n{i}", work_ms=50.0 * (i + 1)))
+            for i in range(3)
+        ]
+        for proc in procs:
+            yield proc
+        return True
+
+    run_app(env, app())
+    starts = [t for kind, _n, t in events if kind == "start"]
+    ends = [t for kind, _n, t in events if kind == "end"]
+    # All start together (within a small window) and end together.
+    assert max(starts) - min(starts) < 50.0
+    assert max(ends) - min(ends) < 50.0
+    assert min(ends) >= max(starts)
+
+
+def test_queue_fifo_single_consumer():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    producer_client = deployment.client(VIRGINIA)
+    consumer_client = deployment.client(VIRGINIA)
+
+    def app():
+        yield producer_client.connect()
+        yield consumer_client.connect()
+        queue_p = DistributedQueue(env, producer_client, "/tasks")
+        queue_c = DistributedQueue(env, consumer_client, "/tasks")
+        for i in range(4):
+            yield env.process(queue_p.put(f"job-{i}".encode()))
+        size = yield env.process(queue_c.size())
+        assert size == 4
+        taken = []
+        for _ in range(4):
+            item = yield env.process(queue_c.take())
+            taken.append(item)
+        return taken
+
+    taken = run_app(env, app())
+    assert taken == [b"job-0", b"job-1", b"job-2", b"job-3"]
+
+
+def test_queue_consumer_blocks_until_item_arrives():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    producer_client = deployment.client(VIRGINIA)
+    consumer_client = deployment.client(VIRGINIA)
+    got = []
+
+    def consumer():
+        yield consumer_client.connect()
+        queue = DistributedQueue(env, consumer_client, "/jobs")
+        item = yield env.process(queue.take())
+        got.append((item, env.now))
+
+    def app():
+        yield producer_client.connect()
+        queue = DistributedQueue(env, producer_client, "/jobs")
+        # Root must exist for the consumer's get_children.
+        yield env.process(queue.put(b"sentinel"))
+        item = yield env.process(queue.take())
+        assert item == b"sentinel"
+        proc = env.process(consumer())
+        yield env.timeout(500.0)
+        yield env.process(queue.put(b"late-item"))
+        yield proc
+        return got
+
+    got = run_app(env, app())
+    assert got[0][0] == b"late-item"
+    assert got[0][1] >= 500.0
+
+
+def test_queue_across_wan_sites_with_wankeeper():
+    """The queue's sequential items share one bulk token (§III-B)."""
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo)
+    ca_client = deployment.client(CALIFORNIA)
+    fr_client = deployment.client(FRANKFURT)
+
+    def app():
+        yield ca_client.connect()
+        yield fr_client.connect()
+        queue_ca = DistributedQueue(env, ca_client, "/geo-q")
+        queue_fr = DistributedQueue(env, fr_client, "/geo-q")
+        for i in range(3):
+            yield env.process(queue_ca.put(f"ca-{i}".encode()))
+        yield env.timeout(2000.0)  # replicate to Frankfurt
+        taken = []
+        for _ in range(3):
+            item = yield env.process(queue_fr.take())
+            taken.append(item)
+        return taken
+
+    assert run_app(env, app()) == [b"ca-0", b"ca-1", b"ca-2"]
+
+
+def test_group_membership_reflects_sessions():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    a = deployment.client(VIRGINIA)
+    b = deployment.client(VIRGINIA)
+    observer = deployment.client(VIRGINIA)
+
+    def app():
+        yield a.connect()
+        yield b.connect()
+        yield observer.connect()
+        group_a = GroupMembership(env, a, "/workers", "alpha")
+        group_b = GroupMembership(env, b, "/workers", "beta")
+        group_o = GroupMembership(env, observer, "/workers", "obs")
+        yield env.process(group_a.join(b"meta-a"))
+        yield env.process(group_b.join())
+        members = yield env.process(group_o.members())
+        assert members == ["alpha", "beta"]
+        # A member's session dies -> it leaves the group automatically.
+        yield a.close()
+        yield env.timeout(500.0)
+        members = yield env.process(group_o.members())
+        return members
+
+    assert run_app(env, app()) == ["beta"]
+
+
+def test_service_discovery_register_and_lookup():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    provider = deployment.client(VIRGINIA)
+    consumer = deployment.client(VIRGINIA)
+
+    def app():
+        yield provider.connect()
+        yield consumer.connect()
+        registry_p = ServiceDiscovery(env, provider)
+        registry_c = ServiceDiscovery(env, consumer)
+        yield env.process(
+            registry_p.register("db", "db-1", b"10.0.0.1:5432")
+        )
+        yield env.process(
+            registry_p.register("db", "db-2", b"10.0.0.2:5432")
+        )
+        instances = yield env.process(registry_c.instances("db"))
+        assert instances == [
+            ("db-1", b"10.0.0.1:5432"),
+            ("db-2", b"10.0.0.2:5432"),
+        ]
+        yield env.process(registry_p.deregister("db", "db-1"))
+        instances = yield env.process(registry_c.instances("db"))
+        return instances
+
+    assert run_app(env, app()) == [("db-2", b"10.0.0.2:5432")]
+
+
+def test_service_discovery_across_sites():
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo)
+    provider = deployment.client(CALIFORNIA)
+    consumer = deployment.client(FRANKFURT)
+
+    def app():
+        yield provider.connect()
+        yield consumer.connect()
+        registry_p = ServiceDiscovery(env, provider)
+        registry_c = ServiceDiscovery(env, consumer)
+        yield env.process(
+            registry_p.register("api", "ca-1", b"california endpoint")
+        )
+        yield env.timeout(2000.0)
+        instances = yield env.process(registry_c.instances("api"))
+        assert instances == [("ca-1", b"california endpoint")]
+        # Provider's session ends; the instance disappears everywhere.
+        yield provider.close()
+        yield env.timeout(3000.0)
+        instances = yield env.process(registry_c.instances("api"))
+        return instances
+
+    assert run_app(env, app()) == []
+
+
+def test_lookup_of_unknown_service_is_empty():
+    env, topo, net = fresh_world()
+    deployment = plain_zk(env, net, topo)
+    client = deployment.client(VIRGINIA)
+
+    def app():
+        yield client.connect()
+        registry = ServiceDiscovery(env, client)
+        instances = yield env.process(registry.instances("ghost"))
+        group = GroupMembership(env, client, "/no-group", "x")
+        members = yield env.process(group.members())
+        return instances, members
+
+    instances, members = run_app(env, app())
+    assert instances == []
+    assert members == []

@@ -1,0 +1,339 @@
+"""Integration tests for the Zab atomic-broadcast layer."""
+
+import pytest
+
+from repro.net import Network, wan_topology, VIRGINIA, CALIFORNIA, FRANKFURT
+from repro.sim import Environment, seeded_rng
+from repro.zab import EnsembleConfig, PeerState, ZabPeer, Zxid
+
+
+def build_ensemble(
+    env,
+    net,
+    topo,
+    voter_sites=(VIRGINIA, VIRGINIA, VIRGINIA),
+    observer_sites=(),
+    start=True,
+):
+    voters = [
+        topo.site(site).address(f"v{i}") for i, site in enumerate(voter_sites)
+    ]
+    observers = [
+        topo.site(site).address(f"o{i}") for i, site in enumerate(observer_sites)
+    ]
+    config = EnsembleConfig(voters=voters, observers=observers)
+    peers = [ZabPeer(env, net, addr, config) for addr in voters + observers]
+    if start:
+        for peer in peers:
+            peer.start()
+    return config, peers
+
+
+def fresh(jitter=0.0):
+    env = Environment()
+    topo = wan_topology(jitter_fraction=jitter)
+    net = Network(env, topo, rng=seeded_rng(3, "net"))
+    return env, topo, net
+
+
+def leader_of(peers):
+    leaders = [p for p in peers if p.is_leader]
+    assert len(leaders) == 1, f"expected one leader, got {leaders}"
+    return leaders[0]
+
+
+def test_election_converges():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, topo=topo, net=net)
+    env.run(until=1000.0)
+    leader = leader_of(peers)
+    followers = [p for p in peers if p is not leader]
+    assert all(p.state == PeerState.FOLLOWING for p in followers)
+    assert all(p.leader_addr == leader.addr for p in followers)
+
+
+def test_single_voter_self_elects():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo, voter_sites=(VIRGINIA,))
+    env.run(until=100.0)
+    assert peers[0].is_leader
+
+
+def test_commit_replicates_to_all_voters():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo)
+    applied = {peer.addr: [] for peer in peers}
+    for peer in peers:
+        peer.on_commit = (
+            lambda zxid, txn, addr=peer.addr: applied[addr].append((zxid, txn))
+        )
+    env.run(until=1000.0)
+    leader = leader_of(peers)
+    leader.submit("txn-1")
+    leader.submit("txn-2")
+    env.run(until=2000.0)
+    for peer in peers:
+        assert [txn for _z, txn in applied[peer.addr]] == ["txn-1", "txn-2"]
+
+
+def test_commit_order_is_zxid_order_everywhere():
+    env, topo, net = fresh(jitter=0.2)
+    _config, peers = build_ensemble(env, net, topo)
+    applied = {peer.addr: [] for peer in peers}
+    for peer in peers:
+        peer.on_commit = (
+            lambda zxid, txn, addr=peer.addr: applied[addr].append(zxid)
+        )
+    env.run(until=1000.0)
+    leader = leader_of(peers)
+    for i in range(50):
+        leader.submit(f"txn-{i}")
+    env.run(until=3000.0)
+    for peer in peers:
+        zxids = applied[peer.addr]
+        assert len(zxids) == 50
+        assert zxids == sorted(zxids)
+
+
+def test_submit_on_non_leader_raises():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo)
+    env.run(until=1000.0)
+    follower = next(p for p in peers if not p.is_leader)
+    with pytest.raises(RuntimeError):
+        follower.submit("nope")
+
+
+def test_forwarded_submit_commits():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo)
+    committed = []
+    for peer in peers:
+        peer.on_commit = lambda zxid, txn: committed.append(txn)
+    env.run(until=1000.0)
+    follower = next(p for p in peers if not p.is_leader)
+    follower.forward_submit("fwd-txn")
+    env.run(until=2000.0)
+    assert "fwd-txn" in committed
+
+
+def test_observer_learns_commits():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(
+        env, net, topo, observer_sites=(CALIFORNIA,)
+    )
+    observer = peers[-1]
+    seen = []
+    observer.on_commit = lambda zxid, txn: seen.append(txn)
+    env.run(until=2000.0)
+    assert observer.state == PeerState.OBSERVING
+    leader = leader_of(peers[:3])
+    leader.submit("to-observer")
+    env.run(until=3000.0)
+    assert seen == ["to-observer"]
+
+
+def test_observer_does_not_vote_or_lead():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(
+        env, net, topo, observer_sites=(CALIFORNIA,)
+    )
+    env.run(until=2000.0)
+    observer = peers[-1]
+    assert observer.state == PeerState.OBSERVING
+    assert not observer.is_leader
+
+
+def test_wan_follower_write_needs_wan_roundtrips():
+    """A commit with a WAN voter takes at least one WAN RTT to ack."""
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(
+        env, net, topo, voter_sites=(VIRGINIA, CALIFORNIA, FRANKFURT)
+    )
+    committed_at = {}
+    for peer in peers:
+        peer.on_commit = (
+            lambda zxid, txn, addr=peer.addr: committed_at.setdefault(addr, env.now)
+        )
+    env.run(until=5000.0)
+    leader = leader_of(peers)
+    start = env.now
+    leader.submit("wan-txn")
+    env.run(until=start + 2000.0)
+    leader_commit_delay = committed_at[leader.addr] - start
+    # Leader needs an ack from one WAN follower: at least one WAN RTT (the
+    # smallest one-way in the topology is 35 ms each direction).
+    assert leader_commit_delay >= 70.0
+
+
+def test_leader_crash_triggers_reelection():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo)
+    env.run(until=1000.0)
+    old_leader = leader_of(peers)
+    old_leader.crash()
+    env.run(until=5000.0)
+    survivors = [p for p in peers if p is not old_leader]
+    new_leader = leader_of(survivors)
+    assert new_leader is not old_leader
+    assert all(
+        p.leader_addr == new_leader.addr for p in survivors
+    )
+
+
+def test_no_progress_without_quorum():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo)
+    env.run(until=1000.0)
+    leader = leader_of(peers)
+    followers = [p for p in peers if p is not leader]
+    for follower in followers:
+        follower.crash()
+    committed = []
+    leader.on_commit = lambda zxid, txn: committed.append(txn)
+    # Leader may still accept a submit while it hasn't noticed the crash,
+    # but the transaction must never commit.
+    try:
+        leader.submit("doomed")
+    except RuntimeError:
+        pass
+    env.run(until=10000.0)
+    assert committed == []
+    assert not leader.is_leader  # stepped down after losing quorum
+
+
+def test_committed_entries_survive_leader_failover():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo)
+    env.run(until=1000.0)
+    leader = leader_of(peers)
+    leader.submit("durable-1")
+    leader.submit("durable-2")
+    env.run(until=2000.0)
+    leader.crash()
+    env.run(until=8000.0)
+    survivors = [p for p in peers if p is not leader]
+    new_leader = leader_of(survivors)
+    txns = [entry.txn for entry in new_leader.log]
+    assert txns[:2] == ["durable-1", "durable-2"]
+
+
+def test_restarted_follower_catches_up():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo)
+    env.run(until=1000.0)
+    leader = leader_of(peers)
+    follower = next(p for p in peers if not p.is_leader)
+    follower.crash()
+    for i in range(5):
+        leader.submit(f"while-down-{i}")
+    env.run(until=3000.0)
+    follower.restart()
+    env.run(until=8000.0)
+    txns = [entry.txn for entry in follower.log]
+    assert txns == [f"while-down-{i}" for i in range(5)]
+    assert follower.state == PeerState.FOLLOWING
+
+
+def test_epoch_increases_across_elections():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo)
+    env.run(until=1000.0)
+    first_epoch = leader_of(peers).current_epoch
+    old_leader = leader_of(peers)
+    old_leader.crash()
+    env.run(until=8000.0)
+    survivors = [p for p in peers if p is not old_leader]
+    assert leader_of(survivors).current_epoch > first_epoch
+
+
+def test_five_node_ensemble_tolerates_two_failures():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(
+        env, net, topo, voter_sites=(VIRGINIA,) * 5
+    )
+    env.run(until=1000.0)
+    committed = []
+    leader = leader_of(peers)
+    followers = [p for p in peers if p is not leader]
+    followers[0].crash()
+    followers[1].crash()
+    env.run(until=3000.0)
+    leader = leader_of([p for p in peers if p.is_alive])
+    leader.on_commit = lambda zxid, txn: committed.append(txn)
+    leader.submit("still-alive")
+    env.run(until=6000.0)
+    assert committed == ["still-alive"]
+
+
+def test_partition_heals_and_lagging_follower_recovers():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(
+        env, net, topo, voter_sites=(VIRGINIA, VIRGINIA, CALIFORNIA)
+    )
+    env.run(until=2000.0)
+    leader = leader_of(peers)
+    assert leader.addr.site == VIRGINIA  # 2-of-3 quorum lives in Virginia
+    net.partition(VIRGINIA, CALIFORNIA)
+    leader.submit("during-partition")
+    env.run(until=4000.0)
+    net.heal(VIRGINIA, CALIFORNIA)
+    env.run(until=20000.0)
+    ca_peer = next(p for p in peers if p.addr.site == CALIFORNIA)
+    txns = [entry.txn for entry in ca_peer.log]
+    assert "during-partition" in txns
+
+
+def test_zxid_ordering_and_packing():
+    a = Zxid(1, 5)
+    b = Zxid(2, 0)
+    assert a < b
+    assert a.next() == Zxid(1, 6)
+    assert Zxid.unpack(a.packed()) == a
+    with pytest.raises(ValueError):
+        a.new_epoch(1)
+
+
+def test_log_rejects_non_increasing_zxids():
+    from repro.zab import TxnLog
+
+    log = TxnLog()
+    log.append(Zxid(1, 1), "a")
+    with pytest.raises(ValueError):
+        log.append(Zxid(1, 1), "b")
+
+
+def test_log_truncate_and_entries_after():
+    from repro.zab import TxnLog
+
+    log = TxnLog()
+    for i in range(1, 6):
+        log.append(Zxid(1, i), f"t{i}")
+    after = log.entries_after(Zxid(1, 3))
+    assert [e.txn for e in after] == ["t4", "t5"]
+    dropped = log.truncate_after(Zxid(1, 3))
+    assert [e.txn for e in dropped] == ["t4", "t5"]
+    assert log.last_zxid == Zxid(1, 3)
+
+
+def test_ensemble_config_validation():
+    env, topo, net = fresh()
+    a = topo.site(VIRGINIA).address("a")
+    b = topo.site(VIRGINIA).address("b")
+    with pytest.raises(ValueError):
+        EnsembleConfig(voters=[])
+    with pytest.raises(ValueError):
+        EnsembleConfig(voters=[a, a])
+    with pytest.raises(ValueError):
+        EnsembleConfig(voters=[a], observers=[a])
+    config = EnsembleConfig(voters=[a, b])
+    assert config.quorum_size == 2
+
+
+def test_non_member_peer_rejected():
+    env, topo, net = fresh()
+    a = topo.site(VIRGINIA).address("a")
+    b = topo.site(VIRGINIA).address("b")
+    config = EnsembleConfig(voters=[a])
+    with pytest.raises(ValueError):
+        ZabPeer(env, net, b, config)

@@ -1,0 +1,145 @@
+"""Additional Zab edge cases: observers, snapshots, late joiners."""
+
+import pytest
+
+from repro.net import CALIFORNIA, FRANKFURT, VIRGINIA
+from repro.sim import Environment
+from repro.zab import EnsembleConfig, PeerState, ZabPeer, Zxid
+
+from tests.test_zab import build_ensemble, fresh, leader_of
+
+
+def test_observer_crash_and_restart_catches_up():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo, observer_sites=(CALIFORNIA,))
+    observer = peers[-1]
+    env.run(until=2000.0)
+    leader = leader_of(peers[:3])
+    leader.submit("before-crash")
+    env.run(until=3000.0)
+    observer.crash()
+    for i in range(5):
+        leader.submit(f"while-down-{i}")
+    env.run(until=5000.0)
+    observer.restart()
+    env.run(until=15000.0)
+    txns = [entry.txn for entry in observer.log]
+    assert txns == ["before-crash"] + [f"while-down-{i}" for i in range(5)]
+
+
+def test_observer_survives_leader_change():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo, observer_sites=(FRANKFURT,))
+    observer = peers[-1]
+    applied = []
+    observer.on_commit = lambda zxid, txn: applied.append(txn)
+    env.run(until=2000.0)
+    old_leader = leader_of(peers[:3])
+    old_leader.submit("first")
+    env.run(until=3000.0)
+    old_leader.crash()
+    env.run(until=15000.0)
+    new_leader = leader_of([p for p in peers[:3] if p.is_alive])
+    new_leader.submit("second")
+    env.run(until=25000.0)
+    assert applied == ["first", "second"]
+
+
+def test_late_joiner_during_heavy_broadcast():
+    """A follower joining while proposals stream must not lose any."""
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo, voter_sites=(VIRGINIA,) * 5)
+    env.run(until=1000.0)
+    leader = leader_of(peers)
+    victim = next(p for p in peers if not p.is_leader)
+    victim.crash()
+    env.run(until=2000.0)
+
+    def pump(env, leader):
+        for i in range(100):
+            if leader.is_leader:
+                leader.submit(f"burst-{i}")
+            yield env.timeout(2.0)
+
+    env.process(pump(env, leader))
+    env.run(until=2050.0)
+    victim.restart()  # rejoins mid-burst
+    env.run(until=20000.0)
+    expected = [f"burst-{i}" for i in range(100)]
+    assert [e.txn for e in victim.log] == expected
+
+
+def test_follower_with_divergent_uncommitted_tail_truncates():
+    """An offline follower holding uncommitted entries from a dead epoch
+    must have them truncated when it rejoins the new epoch.
+
+    (If such a node instead *wins* the election, Zab legitimately commits
+    its tail — so the orphan must sit out the election to be truncated.)
+    """
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo, voter_sites=(VIRGINIA,) * 5)
+    env.run(until=1000.0)
+    leader = leader_of(peers)
+    followers = [p for p in peers if p is not leader]
+    orphan = followers[0]
+    # The orphan acked a proposal that never reached a quorum...
+    orphan.log.append(Zxid(leader.current_epoch, 999), "orphan-entry")
+    # ...and both it and the old leader go down before anyone else saw it.
+    orphan.crash()
+    leader.crash()
+    env.run(until=15000.0)
+    new_leader = leader_of([p for p in peers if p.is_alive])
+    new_leader.submit("clean-entry")
+    env.run(until=18000.0)
+    orphan.restart()
+    env.run(until=35000.0)
+    assert all(e.txn != "orphan-entry" for e in orphan.log)
+    assert any(e.txn == "clean-entry" for e in orphan.log)
+    assert orphan.state == PeerState.FOLLOWING
+
+
+def test_two_voter_ensemble_blocks_on_single_failure():
+    """Quorum of 2-voter ensemble is 2: one crash halts progress (no
+    split-brain)."""
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo, voter_sites=(VIRGINIA,) * 2)
+    env.run(until=1000.0)
+    leader = leader_of(peers)
+    follower = next(p for p in peers if p is not leader)
+    follower.crash()
+    env.run(until=10000.0)
+    assert not leader.is_leader  # stepped down; no quorum
+
+
+def test_commits_delivered_metric():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo)
+    for peer in peers:
+        peer.on_commit = lambda zxid, txn: None
+    env.run(until=1000.0)
+    leader = leader_of(peers)
+    for i in range(7):
+        leader.submit(f"m{i}")
+    env.run(until=3000.0)
+    for peer in peers:
+        assert peer.commits_delivered == 7
+
+
+def test_packed_zxid_is_zookeeper_layout():
+    zxid = Zxid(3, 17)
+    assert zxid.packed() == (3 << 32) | 17
+
+
+def test_peer_start_twice_rejected():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo, start=False)
+    peers[0].start()
+    with pytest.raises(RuntimeError):
+        peers[0].start()
+
+
+def test_restart_running_peer_rejected():
+    env, topo, net = fresh()
+    _config, peers = build_ensemble(env, net, topo)
+    with pytest.raises(RuntimeError):
+        peers[0].restart()
