@@ -2,9 +2,11 @@
 
 A :class:`Nemesis` runs alongside a deployment and injects faults from a
 seeded random schedule — server crashes and restarts, WAN partitions and
-heals — while recording everything it did. Soak tests drive a workload
-under a nemesis and then check the global invariants (replica convergence,
-token exclusivity, history consistency) after a final quiet period.
+heals, flaky links (loss + duplication), asymmetric one-way partitions,
+and gray degradations (pathological delay) — while recording everything it
+did. Soak tests drive a workload under a nemesis and then check the global
+invariants (replica convergence, token exclusivity, history consistency)
+after a final quiet period.
 
 The design follows the Jepsen idea adapted to a deterministic simulator:
 because the schedule derives from the experiment seed, any failure found
@@ -17,6 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.net.transport import LinkProfile
 from repro.sim.kernel import Environment, Interrupt
 
 __all__ = ["FaultEvent", "Nemesis", "NemesisConfig"]
@@ -27,7 +30,8 @@ class FaultEvent:
     """One injected fault (or repair)."""
 
     time: float
-    kind: str  # crash | restart | partition | heal
+    kind: str  # crash | restart | partition | heal | flaky-link | restore
+    #        # | oneway-partition | oneway-heal | gray-degrade
     target: str
 
 
@@ -38,6 +42,17 @@ class NemesisConfig:
     interval_ms: float = 2000.0
     crash_probability: float = 0.25
     partition_probability: float = 0.15
+    #: Degrade a random WAN link with loss + duplication (a flaky path).
+    flaky_link_probability: float = 0.0
+    #: Sever only one direction of a random site pair (gray failure: the
+    #: other end still believes the link is healthy).
+    oneway_partition_probability: float = 0.0
+    #: Multiply a random link's latency (gray failure: up but very slow).
+    gray_degrade_probability: float = 0.0
+    #: LinkProfile applied by flaky-link faults.
+    flaky_profile: LinkProfile = LinkProfile(loss=0.05, duplicate=0.05)
+    #: Delay multiplier applied by gray-degradation faults.
+    gray_delay_factor: float = 8.0
     #: Mean dwell before a crash/partition is repaired (exponential,
     #: capped at ``repair_cap_factor`` times the mean so tail draws stay
     #: bounded — e.g. below a failover timeout when that matters).
@@ -46,8 +61,11 @@ class NemesisConfig:
     #: Never crash below this many live voters per ensemble (quorum guard);
     #: the nemesis tests liveness under *tolerable* faults by default.
     min_live_fraction: float = 0.6
-    #: Never partition more than one site pair at a time.
+    #: Never partition more than one site pair at a time (symmetric and
+    #: one-way partitions count toward the same budget).
     max_active_partitions: int = 1
+    #: Never degrade more than this many links at a time (flaky + gray).
+    max_active_degradations: int = 2
 
 
 class Nemesis:
@@ -69,6 +87,14 @@ class Nemesis:
         self.events: List[FaultEvent] = []
         self._down: List[Tuple[float, Any]] = []  # (repair_at, server)
         self._partitions: List[Tuple[float, str, str]] = []
+        self._oneway: List[Tuple[float, str, str]] = []  # (heal_at, src, dst)
+        # (restore_at, site_a, site_b, previous profile or None). Keeping
+        # the previous profile lets a nemesis degradation stack on top of a
+        # baseline link profile (e.g. a soak's ambient loss) and put it
+        # back on repair instead of wiping it.
+        self._degraded: List[
+            Tuple[float, str, str, Optional[LinkProfile]]
+        ] = []
         self._proc = None
         self._active = False
 
@@ -94,6 +120,13 @@ class Nemesis:
             self.net.heal(site_a, site_b)
             self._log("heal", f"{site_a}~{site_b}")
         self._partitions = []
+        for _at, src, dst in self._oneway:
+            self.net.heal_one_way(src, dst)
+            self._log("oneway-heal", f"{src}->{dst}")
+        self._oneway = []
+        for _at, site_a, site_b, previous in self._degraded:
+            self._restore_link(site_a, site_b, previous)
+        self._degraded = []
 
     # ----------------------------------------------------------------- guts
 
@@ -109,13 +142,27 @@ class Nemesis:
             if not self._active:
                 return
             self._repair_due()
+            cfg = self.config
             roll = self.rng.random()
-            if roll < self.config.crash_probability:
+            threshold = cfg.crash_probability
+            if roll < threshold:
                 self._maybe_crash()
-            elif roll < (
-                self.config.crash_probability + self.config.partition_probability
-            ):
+                continue
+            threshold += cfg.partition_probability
+            if roll < threshold:
                 self._maybe_partition()
+                continue
+            threshold += cfg.flaky_link_probability
+            if roll < threshold:
+                self._maybe_flaky_link()
+                continue
+            threshold += cfg.oneway_partition_probability
+            if roll < threshold:
+                self._maybe_oneway_partition()
+                continue
+            threshold += cfg.gray_degrade_probability
+            if roll < threshold:
+                self._maybe_gray_degrade()
 
     def _repair_due(self) -> None:
         now = self.env.now
@@ -135,6 +182,30 @@ class Nemesis:
             else:
                 open_partitions.append((heal_at, site_a, site_b))
         self._partitions = open_partitions
+        open_oneway = []
+        for heal_at, src, dst in self._oneway:
+            if now >= heal_at:
+                self.net.heal_one_way(src, dst)
+                self._log("oneway-heal", f"{src}->{dst}")
+            else:
+                open_oneway.append((heal_at, src, dst))
+        self._oneway = open_oneway
+        still_degraded = []
+        for restore_at, site_a, site_b, previous in self._degraded:
+            if now >= restore_at:
+                self._restore_link(site_a, site_b, previous)
+            else:
+                still_degraded.append((restore_at, site_a, site_b, previous))
+        self._degraded = still_degraded
+
+    def _restore_link(
+        self, site_a: str, site_b: str, previous: Optional[LinkProfile]
+    ) -> None:
+        if previous is None:
+            self.net.restore(site_a, site_b)
+        else:
+            self.net.degrade(site_a, site_b, previous)
+        self._log("restore", f"{site_a}~{site_b}")
 
     def _sites(self) -> List[str]:
         by_site = getattr(self.deployment, "by_site", None)
@@ -176,6 +247,81 @@ class Nemesis:
         self.net.partition(site_a, site_b)
         self._log("partition", f"{site_a}~{site_b}")
         self._partitions.append((self.env.now + self._dwell(), site_a, site_b))
+
+    def _pick_link(self) -> Optional[Tuple[str, str]]:
+        sites = self._sites()
+        if len(sites) < 2:
+            return None
+        site_a, site_b = self.rng.sample(sites, 2)
+        return site_a, site_b
+
+    def _nemesis_degraded(self, site_a: str, site_b: str) -> bool:
+        return any(
+            {site_a, site_b} == {a, b} for _at, a, b, _prev in self._degraded
+        )
+
+    def _maybe_flaky_link(self) -> None:
+        if len(self._degraded) >= self.config.max_active_degradations:
+            return
+        link = self._pick_link()
+        if link is None:
+            return
+        site_a, site_b = link
+        if self._nemesis_degraded(site_a, site_b):
+            return
+        previous = self.net.link_profile(site_a, site_b)
+        flaky = self.config.flaky_profile
+        if previous is not None:
+            # Stack on any ambient degradation: keep the worse loss/dup and
+            # the ambient delay factor, and restore the ambient profile later.
+            flaky = LinkProfile(
+                loss=max(previous.loss, flaky.loss),
+                duplicate=max(previous.duplicate, flaky.duplicate),
+                delay_factor=previous.delay_factor,
+            )
+        self.net.degrade(site_a, site_b, flaky)
+        self._log("flaky-link", f"{site_a}~{site_b}")
+        self._degraded.append(
+            (self.env.now + self._dwell(), site_a, site_b, previous)
+        )
+
+    def _maybe_oneway_partition(self) -> None:
+        total_partitions = len(self._partitions) + len(self._oneway)
+        if total_partitions >= self.config.max_active_partitions:
+            return
+        link = self._pick_link()
+        if link is None:
+            return
+        src, dst = link
+        if self.net.partitioned_one_way(src, dst):
+            return
+        self.net.partition_one_way(src, dst)
+        self._log("oneway-partition", f"{src}->{dst}")
+        self._oneway.append((self.env.now + self._dwell(), src, dst))
+
+    def _maybe_gray_degrade(self) -> None:
+        if len(self._degraded) >= self.config.max_active_degradations:
+            return
+        link = self._pick_link()
+        if link is None:
+            return
+        site_a, site_b = link
+        if self._nemesis_degraded(site_a, site_b):
+            return
+        previous = self.net.link_profile(site_a, site_b)
+        gray = LinkProfile(delay_factor=self.config.gray_delay_factor)
+        if previous is not None:
+            # Keep ambient loss/duplication; only the latency goes gray.
+            gray = LinkProfile(
+                loss=previous.loss,
+                duplicate=previous.duplicate,
+                delay_factor=self.config.gray_delay_factor,
+            )
+        self.net.degrade(site_a, site_b, gray)
+        self._log("gray-degrade", f"{site_a}~{site_b}")
+        self._degraded.append(
+            (self.env.now + self._dwell(), site_a, site_b, previous)
+        )
 
     def _dwell(self) -> float:
         raw = self.rng.expovariate(1.0 / self.config.repair_after_ms)

@@ -18,12 +18,13 @@ from repro.net.topology import (
     Topology,
     wan_topology,
 )
-from repro.net.transport import Network, NodeDownError
+from repro.net.transport import LinkProfile, Network, NodeDownError
 
 __all__ = [
     "CALIFORNIA",
     "Envelope",
     "FRANKFURT",
+    "LinkProfile",
     "Network",
     "NodeAddress",
     "NodeDownError",

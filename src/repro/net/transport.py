@@ -1,6 +1,6 @@
 """The simulated network: registration, FIFO delivery, partitions, crashes.
 
-Delivery semantics mirror TCP as the paper assumes:
+Default delivery semantics mirror TCP as the paper assumes:
 
 * **reliable** — a message between two live, connected nodes is always
   delivered;
@@ -9,11 +9,27 @@ Delivery semantics mirror TCP as the paper assumes:
 * **connection-loss on partition/crash** — messages to a crashed node or
   across a partition are silently dropped (the sender's protocol timeouts
   are responsible for recovery, as with a broken TCP connection).
+
+Real WANs are worse than that, so every link can additionally be *degraded*
+with a :class:`LinkProfile`: independent per-message loss, duplication, and
+a "gray failure" delay multiplier (the link is up but pathologically slow).
+Partitions may also be **asymmetric** (one direction severed), which is the
+classic gray-failure shape Jepsen-style evaluations probe. Degradation
+never reorders messages on a connection — duplicated copies arrive after
+the original and FIFO stays monotone per ordered pair — matching a flaky
+TCP path where the kernel retransmits but the application-visible stream
+stays ordered, while *lost* messages model connection resets whose
+in-flight data vanished.
+
+Every drop is tagged with a reason (``crash``, ``partition``, ``loss``,
+``inbox-closed``) and counted in :attr:`Network.drops_by_reason`.
 """
 
 from __future__ import annotations
 
 import random
+from collections import Counter
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.net.message import Envelope
@@ -21,11 +37,37 @@ from repro.net.topology import NodeAddress, Topology
 from repro.sim.kernel import Environment
 from repro.sim.store import Store
 
-__all__ = ["Network", "NodeDownError"]
+__all__ = ["LinkProfile", "Network", "NodeDownError"]
 
 
 class NodeDownError(Exception):
     """Raised when interacting with a crashed node's endpoint."""
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Fault characteristics of one directed site-to-site link.
+
+    ``loss`` and ``duplicate`` are independent per-message probabilities;
+    ``delay_factor`` multiplies the link's one-way latency (a gray failure:
+    the link works, just pathologically slowly).
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    delay_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError(f"loss must be a probability, got {self.loss}")
+        if not 0.0 <= self.duplicate <= 1.0:
+            raise ValueError(
+                f"duplicate must be a probability, got {self.duplicate}"
+            )
+        if self.delay_factor <= 0.0:
+            raise ValueError(
+                f"delay_factor must be positive, got {self.delay_factor}"
+            )
 
 
 class Network:
@@ -43,10 +85,15 @@ class Network:
         self._inboxes: Dict[NodeAddress, Store] = {}
         self._down: Set[NodeAddress] = set()
         self._partitions: Set[FrozenSet[str]] = set()
+        self._oneway_partitions: Set[Tuple[str, str]] = set()
+        # Directed (src site, dst site) -> degradation profile.
+        self._link_profiles: Dict[Tuple[str, str], LinkProfile] = {}
         self._last_delivery: Dict[Tuple[NodeAddress, NodeAddress], float] = {}
         self._seq = 0
         self.messages_sent = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.drops_by_reason: Counter = Counter()
         self.bytes_sent = 0
         self._taps: List[Callable[[Envelope], None]] = []
 
@@ -91,17 +138,69 @@ class Network:
             raise ValueError("cannot partition a site from itself")
         self._partitions.add(frozenset({site_a, site_b}))
 
+    def partition_one_way(self, src_site: str, dst_site: str) -> None:
+        """Sever only the ``src -> dst`` direction (asymmetric partition).
+
+        The reverse direction keeps working — the gray-failure shape where
+        one end believes the link is healthy.
+        """
+        if src_site == dst_site:
+            raise ValueError("cannot partition a site from itself")
+        self._oneway_partitions.add((src_site, dst_site))
+
     def heal(self, site_a: str, site_b: str) -> None:
-        """Restore connectivity between two sites."""
+        """Restore connectivity between two sites (both directions)."""
         self._partitions.discard(frozenset({site_a, site_b}))
+        self._oneway_partitions.discard((site_a, site_b))
+        self._oneway_partitions.discard((site_b, site_a))
+
+    def heal_one_way(self, src_site: str, dst_site: str) -> None:
+        self._oneway_partitions.discard((src_site, dst_site))
 
     def heal_all(self) -> None:
         self._partitions.clear()
+        self._oneway_partitions.clear()
 
     def partitioned(self, site_a: str, site_b: str) -> bool:
         if site_a == site_b:
             return False
         return frozenset({site_a, site_b}) in self._partitions
+
+    def partitioned_one_way(self, src_site: str, dst_site: str) -> bool:
+        """Is the directed path ``src -> dst`` severed (either kind)?"""
+        if self.partitioned(src_site, dst_site):
+            return True
+        return (src_site, dst_site) in self._oneway_partitions
+
+    # -- link degradation -----------------------------------------------------
+
+    def degrade(
+        self,
+        site_a: str,
+        site_b: str,
+        profile: LinkProfile,
+        symmetric: bool = True,
+    ) -> None:
+        """Degrade the link between two sites with ``profile``.
+
+        With ``symmetric=False`` only the ``site_a -> site_b`` direction is
+        degraded (asymmetric gray failure).
+        """
+        self._link_profiles[(site_a, site_b)] = profile
+        if symmetric:
+            self._link_profiles[(site_b, site_a)] = profile
+
+    def restore(self, site_a: str, site_b: str) -> None:
+        """Remove any degradation between two sites (both directions)."""
+        self._link_profiles.pop((site_a, site_b), None)
+        self._link_profiles.pop((site_b, site_a), None)
+
+    def restore_all(self) -> None:
+        self._link_profiles.clear()
+
+    def link_profile(self, src_site: str, dst_site: str) -> Optional[LinkProfile]:
+        """The active degradation on the directed ``src -> dst`` link."""
+        return self._link_profiles.get((src_site, dst_site))
 
     # -- observation ----------------------------------------------------------
 
@@ -109,15 +208,20 @@ class Network:
         """Register an observer invoked for every *sent* envelope."""
         self._taps.append(callback)
 
+    def _drop(self, reason: str) -> None:
+        self.messages_dropped += 1
+        self.drops_by_reason[reason] += 1
+
     # -- sending ----------------------------------------------------------
 
     def send(self, src: NodeAddress, dst: NodeAddress, body: Any,
              size_bytes: int = 256) -> None:
         """Send ``body`` from ``src`` to ``dst``; returns immediately.
 
-        Dropped (not raised) if either endpoint is down or the sites are
-        partitioned — matching a broken TCP connection, where the sender
-        discovers the failure only through its own timeouts.
+        Dropped (not raised) if either endpoint is down, the sites are
+        partitioned in the sending direction, or the link's degradation
+        profile loses the message — matching a broken TCP connection, where
+        the sender discovers the failure only through its own timeouts.
         """
         if dst not in self._inboxes:
             raise ValueError(f"unknown destination: {dst}")
@@ -134,18 +238,39 @@ class Network:
         )
         for tap in self._taps:
             tap(envelope)
-        if src in self._down or dst in self._down or self.partitioned(src.site, dst.site):
-            self.messages_dropped += 1
+        if src in self._down or dst in self._down:
+            self._drop("crash")
+            return
+        if self.partitioned_one_way(src.site, dst.site):
+            self._drop("partition")
             return
 
-        delay = self.topology.one_way(src, dst)
+        profile = self._link_profiles.get((src.site, dst.site))
+        if profile is not None and profile.loss > 0.0:
+            if self.rng.random() < profile.loss:
+                self._drop("loss")
+                return
+        copies = 1
+        if profile is not None and profile.duplicate > 0.0:
+            if self.rng.random() < profile.duplicate:
+                copies = 2
+                self.messages_duplicated += 1
+        for _copy in range(copies):
+            self._schedule_delivery(envelope, profile)
+
+    def _schedule_delivery(
+        self, envelope: Envelope, profile: Optional[LinkProfile]
+    ) -> None:
+        delay = self.topology.one_way(envelope.src, envelope.dst)
+        if profile is not None:
+            delay *= profile.delay_factor
         jitter = self.topology.jitter_fraction
         if jitter > 0:
             delay *= 1.0 + self.rng.uniform(0.0, jitter)
 
         # Enforce FIFO per ordered pair: never deliver before the previous
-        # message on this connection.
-        key = (src, dst)
+        # message (or copy) on this connection.
+        key = (envelope.src, envelope.dst)
         deliver_at = max(self.env.now + delay, self._last_delivery.get(key, 0.0))
         self._last_delivery[key] = deliver_at
         envelope.deliver_time = deliver_at
@@ -153,15 +278,15 @@ class Network:
         def deliver(_event: Any, envelope: Envelope = envelope) -> None:
             # Re-check liveness at delivery time: a crash or partition that
             # happened while the message was in flight kills it.
-            if (
-                envelope.dst in self._down
-                or self.partitioned(envelope.src.site, envelope.dst.site)
-            ):
-                self.messages_dropped += 1
+            if envelope.dst in self._down:
+                self._drop("crash")
+                return
+            if self.partitioned_one_way(envelope.src.site, envelope.dst.site):
+                self._drop("partition")
                 return
             inbox = self._inboxes[envelope.dst]
             if inbox.closed:
-                self.messages_dropped += 1
+                self._drop("inbox-closed")
                 return
             inbox.put(envelope)
 

@@ -29,10 +29,12 @@ class MessageStats:
     by_site_pair: Counter = field(default_factory=Counter)
     wan_messages: int = 0
     local_messages: int = 0
+    #: The network being observed (for drop/duplicate accounting).
+    net: Optional[Network] = None
 
     @classmethod
     def attach(cls, net: Network) -> "MessageStats":
-        stats = cls()
+        stats = cls(net=net)
         net.tap(stats._observe)
         return stats
 
@@ -56,12 +58,30 @@ class MessageStats:
     def top_types(self, count: int = 10) -> List[Tuple[str, int]]:
         return self.by_type.most_common(count)
 
+    def drops_by_reason(self) -> Dict[str, int]:
+        """Messages dropped by the attached network, per tagged reason
+        (crash, partition, loss, inbox-closed)."""
+        if self.net is None:
+            return {}
+        return dict(self.net.drops_by_reason)
+
     def report(self) -> str:
         lines = [
             f"messages: {self.total} total, {self.wan_messages} WAN "
             f"({self.wan_fraction():.1%})",
-            "top message types:",
         ]
+        if self.net is not None:
+            drops = self.drops_by_reason()
+            dropped = sum(drops.values())
+            breakdown = ", ".join(
+                f"{reason}={count}" for reason, count in sorted(drops.items())
+            )
+            lines.append(
+                f"dropped: {dropped}"
+                + (f" ({breakdown})" if breakdown else "")
+                + f", duplicated: {self.net.messages_duplicated}"
+            )
+        lines.append("top message types:")
         for name, number in self.top_types():
             lines.append(f"  {name:24s} {number}")
         return "\n".join(lines)

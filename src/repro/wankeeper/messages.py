@@ -173,9 +173,17 @@ class WanAck:
 
 @dataclass(frozen=True)
 class TokenRecall:
-    """Hub -> site: terminate the lease on ``keys``; return them."""
+    """Hub -> site: terminate the lease on ``keys``; return them.
+
+    ``grant_counts`` carries, per key, how many grants to this site the hub
+    has committed. A recall can overtake the granting WanTxn on the relay
+    stream (the recall is a direct message, the grant is replicated); the
+    count lets the site tell "grant still in flight" apart from "already
+    released" instead of wrongly re-acking a token it is about to receive.
+    """
 
     keys: Tuple[str, ...]
+    grant_counts: Optional[Tuple[int, ...]] = None
 
 
 @dataclass(frozen=True)

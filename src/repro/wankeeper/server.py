@@ -179,6 +179,11 @@ class WanKeeperServer(ZkServer):
             },
         )
         self.hub_tokens = HubTokenState(dict(wan.initial_tokens))
+        # (key, site) -> number of committed grants, derived from the
+        # replicated WanTxn stream on every server (symmetric, so it
+        # survives restarts and level-2 failovers). Used to detect recalls
+        # that overtook their grant on the relay stream.
+        self._grant_counts: Dict[Tuple[str, str], int] = {}
         self._seen_wan_ids: Set[Tuple[str, int]] = set()
         # Every applied WanTxn, in commit order (lets per-site relay
         # streams be reconstructed for dynamically added sites).
@@ -255,6 +260,9 @@ class WanKeeperServer(ZkServer):
         self._policy: MigrationPolicy = self.wan.policy_factory()
         self._hub_queue: List[_QueuedTxn] = []
         self._hub_queued_ids: Set[Tuple[str, int]] = set()
+        # Txn ids serialized (proposed) but not yet committed: a retried
+        # WanSubmit arriving in that window must not re-serialize.
+        self._hub_inflight_ids: Set[Tuple[str, int]] = set()
         self._recall_sent_at: Dict[str, float] = {}
         self._site_leaders: Dict[str, NodeAddress] = {}
         self._site_sessions: Dict[str, Tuple[str, ...]] = {}
@@ -317,6 +325,7 @@ class WanKeeperServer(ZkServer):
             },
         )
         self.hub_tokens = HubTokenState(dict(self.wan.initial_tokens))
+        self._grant_counts = {}
         self._seen_wan_ids = set()
         self._wan_history = []
         self._relay_streams = {
@@ -446,7 +455,11 @@ class WanKeeperServer(ZkServer):
 
     def _hub_admit(self, txn: Txn, origin_site: str) -> None:
         wid = wan_id_of(txn)
-        if wid in self._seen_wan_ids or wid in self._hub_queued_ids:
+        if (
+            wid in self._seen_wan_ids
+            or wid in self._hub_queued_ids
+            or wid in self._hub_inflight_ids
+        ):
             return
         self._hub_queue.append(_QueuedTxn(txn, origin_site))
         self._hub_queued_ids.add(wid)
@@ -499,8 +512,13 @@ class WanKeeperServer(ZkServer):
             leader = self._site_leaders.get(site)
             if leader is not None:
                 self.tokens_recalled += len(site_keys)
+                counts = tuple(
+                    self._grant_counts.get((key, site), 0) for key in site_keys
+                )
                 self.net.send(
-                    self.client_addr, leader, TokenRecall(tuple(site_keys))
+                    self.client_addr,
+                    leader,
+                    TokenRecall(tuple(site_keys), counts),
                 )
 
     def _key_wanted_by_queue(self, key: str) -> bool:
@@ -534,6 +552,7 @@ class WanKeeperServer(ZkServer):
                     and not self._read_holders.get(key)
                 ):
                     grants.append(TokenGrant(key, origin_site))
+        self._hub_inflight_ids.add(wan_id_of(txn))
         for key in needed:
             self._inflight_hub_keys[key] = self._inflight_hub_keys.get(key, 0) + 1
         op = txn.op
@@ -609,8 +628,13 @@ class WanKeeperServer(ZkServer):
 
     def _commit_wan_txn(self, zxid: Zxid, wan_txn: WanTxn) -> None:
         self._seen_wan_ids.add(wan_txn.wan_id)
+        self._hub_inflight_ids.discard(wan_txn.wan_id)
         for grant in wan_txn.grants:
             self.hub_tokens.grant(grant.key, grant.site)
+            counter_key = (grant.key, grant.site)
+            self._grant_counts[counter_key] = (
+                self._grant_counts.get(counter_key, 0) + 1
+            )
             self.token_history.append((self.env.now, grant.key, grant.site))
             if grant.site == self.site:
                 self.site_tokens.grant(grant.key)
@@ -691,16 +715,31 @@ class WanKeeperServer(ZkServer):
 
     # --------------------------------------------------------- token recall
 
-    def _handle_recall(self, keys: Tuple[str, ...]) -> None:
+    def _handle_recall(
+        self,
+        keys: Tuple[str, ...],
+        grant_counts: Optional[Tuple[int, ...]] = None,
+    ) -> None:
         """Level-1 leader: the hub terminated our lease on ``keys``."""
         if not self.peer.is_leader:
             return
+        expected = dict(zip(keys, grant_counts or ()))
         releasable: Set[str] = set()
         not_owned: List[str] = []
         for key in keys:
             if key in self._releasing:
                 continue
             if key not in self.site_tokens.owned:
+                seen = self._grant_counts.get((key, self.site), 0)
+                if seen < expected.get(key, 0):
+                    # The recall overtook its grant on the relay stream:
+                    # the token is still in flight to us. Answering
+                    # "not owned" now would let the hub re-grant the key
+                    # elsewhere while our stale grant later lands — two
+                    # owners. Stay silent; the hub retries the recall
+                    # after recall_retry_ms, by which time the stream has
+                    # caught up and the normal release path runs.
+                    continue
                 not_owned.append(key)
             elif self.site_tokens.start_recall(key):
                 releasable.add(key)
@@ -804,7 +843,7 @@ class WanKeeperServer(ZkServer):
             RemoteApply: self._on_remote_apply,
             WanAck: self._on_wan_ack,
             TokenRecall: lambda s, m: (
-                self._handle_recall(m.keys)
+                self._handle_recall(m.keys, m.grant_counts)
                 if s.site == self.current_l2_site
                 else None
             ),

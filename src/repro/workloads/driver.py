@@ -80,7 +80,11 @@ def ycsb_client(
 
     Operations that hit a connection loss are retried up to ``max_retries``
     times (recorded as one sample with the total elapsed time, as YCSB's
-    client does); other errors are recorded as failures.
+    client does); other errors are recorded as failures. Retries go through
+    the client's stable-cxid retry layer: every attempt of one logical
+    operation reuses the same cxid, so a write whose first attempt timed
+    out but committed is answered from the server's reply cache instead of
+    being applied a second time.
     """
     chooser = chooser or spec.default_chooser()
     total = operation_count if operation_count is not None else spec.operation_count
@@ -92,22 +96,15 @@ def ycsb_client(
         is_write = rng.random() < spec.write_fraction
         start = env.now
         ok = True
-        attempts = 0
-        while True:
-            try:
-                if is_write:
-                    yield client.set_data(path, spec.value(rng))
-                else:
-                    yield client.get_data(path)
-                break
-            except ConnectionLossError:
-                attempts += 1
-                if attempts > max_retries:
-                    ok = False
-                    break
-            except ZkError:
-                ok = False
-                break
+        try:
+            if is_write:
+                yield client.set_data_retrying(
+                    path, spec.value(rng), max_retries=max_retries
+                )
+            else:
+                yield client.get_data_retrying(path, max_retries=max_retries)
+        except (ConnectionLossError, ZkError):
+            ok = False
         recorder.record(
             "write" if is_write else "read", start, env.now - start, ok=ok
         )

@@ -12,7 +12,8 @@ synchronization, broadcast); see the package docstring for the mapping.
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Dict, List, Optional, Set
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.topology import NodeAddress
 from repro.net.transport import Network
@@ -43,6 +44,30 @@ from repro.zab.messages import (
 from repro.zab.zxid import Zxid
 
 __all__ = ["PeerState", "ZabPeer"]
+
+
+#: How many distinct forwarded-transaction ids a leader remembers for
+#: duplicate suppression (bounds memory; far above any in-flight window).
+SUBMIT_DEDUP_LIMIT = 4096
+
+
+def submit_dedup_id(payload: Any) -> Optional[Tuple[Any, ...]]:
+    """Stable identity of a forwarded transaction, for duplicate suppression.
+
+    Client transactions are identified by ``(session_id, cxid)`` — the same
+    pair whether they travel bare (:class:`~repro.zk.ops.Txn`) or wrapped
+    (``WanTxn.wan_id``), so a retransmitted forward is recognized no matter
+    how the leader first saw the transaction. Payloads without an identity
+    (marker ops) return None and are never deduplicated.
+    """
+    wan_id = getattr(payload, "wan_id", None)
+    if wan_id is not None:
+        return tuple(wan_id)
+    session_id = getattr(payload, "session_id", None)
+    cxid = getattr(payload, "cxid", None)
+    if session_id is not None and cxid is not None:
+        return (session_id, cxid)
+    return None
 
 
 class PeerState(str, enum.Enum):
@@ -95,6 +120,10 @@ class ZabPeer:
         self._next_counter = 0
         self._pending: List[Zxid] = []  # proposals awaiting quorum, in order
         self._acks: Dict[Zxid, Set[NodeAddress]] = {}
+        self._proposed_at: Dict[Zxid, float] = {}
+        # Recently proposed/forwarded txn ids (duplicate suppression for
+        # retransmitted SubmitRequests under lossy links).
+        self._recent_submits: "OrderedDict[Tuple[Any, ...], None]" = OrderedDict()
         self._active_followers: Set[NodeAddress] = set()
         self._active_observers: Set[NodeAddress] = set()
         self._discovery_epochs: Dict[NodeAddress, int] = {}
@@ -106,6 +135,7 @@ class ZabPeer:
 
         # Follower/observer state.
         self._last_leader_contact = 0.0
+        self._last_resync_request = -1e18
 
         # Hooks.
         self.on_commit: Optional[Callable[[Zxid, Any], None]] = None
@@ -122,6 +152,8 @@ class ZabPeer:
         # Metrics.
         self.commits_delivered = 0
         self.elections_completed = 0
+        self.proposals_retransmitted = 0
+        self.duplicate_submits_dropped = 0
 
         self._alive = False
         self._procs: List[Any] = []
@@ -219,6 +251,8 @@ class ZabPeer:
     def _reset_leader_state(self) -> None:
         self._pending = []
         self._acks = {}
+        self._proposed_at = {}
+        self._recent_submits = OrderedDict()
         self._active_followers = set()
         self._active_observers = set()
         self._discovery_epochs = {}
@@ -259,6 +293,7 @@ class ZabPeer:
                 self._send(member, Ping(self.addr, self.current_epoch,
                                         self.last_committed))
             if self._broadcast_active:
+                self._retransmit_pending()
                 heard = sum(
                     1
                     for voter in self.config.voters
@@ -630,24 +665,92 @@ class ZabPeer:
     # -------------------------------------------------------------- broadcast
 
     def _propose(self, txn: Any) -> Zxid:
+        self._remember_submit(submit_dedup_id(txn))
         self._next_counter += 1
         zxid = Zxid(self.current_epoch, self._next_counter)
         self.log.append(zxid, txn)
         self._pending.append(zxid)
         self._acks[zxid] = {self.addr}
+        self._proposed_at[zxid] = self.env.now
         message = Propose(self.addr, zxid, txn)
         for follower in self._active_followers:
             self._send(follower, message)
         self._maybe_commit()
         return zxid
 
+    def _remember_submit(self, dedup_id: Optional[Tuple[Any, ...]]) -> None:
+        if dedup_id is None:
+            return
+        self._recent_submits[dedup_id] = None
+        while len(self._recent_submits) > SUBMIT_DEDUP_LIMIT:
+            self._recent_submits.popitem(last=False)
+
+    def _retransmit_pending(self) -> None:
+        """Re-propose pending transactions whose acks are overdue.
+
+        Under a lossy link a PROPOSE (or its ACK) can vanish; without
+        retransmission the quorum never forms and the write stalls forever.
+        Only followers that have not acked are re-sent; duplicates are
+        harmless because followers re-ack anything already in their log.
+        """
+        now = self.env.now
+        overdue = 2.0 * self.config.heartbeat_interval_ms
+        for zxid in self._pending:
+            if now - self._proposed_at.get(zxid, now) < overdue:
+                continue
+            entry = self.log.get(zxid)
+            if entry is None:
+                continue
+            self._proposed_at[zxid] = now
+            message = Propose(self.addr, zxid, entry.txn)
+            acked = self._acks.get(zxid, set())
+            for follower in self._active_followers:
+                if follower not in acked:
+                    self._send(follower, message)
+                    self.proposals_retransmitted += 1
+
+    def _request_resync(self) -> None:
+        """Ask the leader to re-sync us (rate-limited).
+
+        Used when a proposal or commit arrives that our log cannot accept —
+        something before it was lost on the wire. Reuses the late-joiner
+        path: FOLLOWERINFO -> LEADERINFO -> ACKEPOCH -> DIFF/SNAP.
+        """
+        if self.leader_addr is None:
+            return
+        now = self.env.now
+        if now - self._last_resync_request < self.config.election_timeout_ms / 2.0:
+            return
+        self._last_resync_request = now
+        self._send(
+            self.leader_addr,
+            FollowerInfo(self.addr, self.accepted_epoch, self.last_zxid),
+        )
+
+    @staticmethod
+    def _follows(last: Zxid, nxt: Zxid) -> bool:
+        """Is ``nxt`` the immediate successor of ``last`` in zxid order?"""
+        if nxt.epoch == last.epoch:
+            return nxt.counter == last.counter + 1
+        return nxt.epoch > last.epoch and nxt.counter == 1
+
     def _on_propose(self, src: NodeAddress, msg: Propose) -> None:
         if src != self.leader_addr or self.state != PeerState.FOLLOWING:
             return
         self._last_leader_contact = self.env.now
-        if msg.zxid > self.log.last_zxid:
+        last = self.log.last_zxid
+        if msg.zxid <= last:
+            # Duplicate or retransmission of an entry we already hold:
+            # re-ack so a lost ACK cannot stall the quorum forever.
+            self._send(src, Ack(self.addr, msg.zxid))
+            return
+        if self._follows(last, msg.zxid):
             self.log.append(msg.zxid, msg.txn)
-        self._send(src, Ack(self.addr, msg.zxid))
+            self._send(src, Ack(self.addr, msg.zxid))
+            return
+        # Gap: a proposal in between was lost. Never append out of order —
+        # the log must stay contiguous — ask the leader to resync instead.
+        self._request_resync()
 
     def _on_ack(self, src: NodeAddress, msg: Ack) -> None:
         if self.state != PeerState.LEADING:
@@ -665,6 +768,7 @@ class ZabPeer:
                 break
             self._pending.pop(0)
             self._acks.pop(zxid, None)
+            self._proposed_at.pop(zxid, None)
             self.last_committed = zxid
             entry = self.log.get(zxid)
             assert entry is not None
@@ -678,7 +782,14 @@ class ZabPeer:
         if src != self.leader_addr:
             return
         self._last_leader_contact = self.env.now
-        self.last_committed = max(self.last_committed, msg.zxid)
+        if msg.zxid <= self.last_committed:
+            return  # duplicate commit
+        if not self.log.contains(msg.zxid):
+            # The proposal itself was lost: don't advance the commit point
+            # past entries we don't hold — resync with the leader instead.
+            self._request_resync()
+            return
+        self.last_committed = msg.zxid
         self._apply_up_to(msg.zxid)
 
     def _on_inform(self, src: NodeAddress, msg: Inform) -> None:
@@ -693,6 +804,12 @@ class ZabPeer:
     def _on_submit_request(self, src: NodeAddress, msg: SubmitRequest) -> None:
         if not self.is_leader:
             return  # sender will retry after its timeout
+        dedup_id = submit_dedup_id(msg.txn)
+        if dedup_id is not None and dedup_id in self._recent_submits:
+            # A retransmitted forward of a transaction we already took in.
+            self.duplicate_submits_dropped += 1
+            return
+        self._remember_submit(dedup_id)
         if self.on_submit is not None:
             self.on_submit(msg.txn)
         else:
@@ -714,11 +831,13 @@ class ZabPeer:
             return
         self._last_leader_contact = self.env.now
         if msg.last_committed is not None and self.state == PeerState.FOLLOWING:
-            if msg.last_committed > self.last_committed and self.log.contains(
-                msg.last_committed
-            ):
-                self.last_committed = msg.last_committed
-                self._apply_up_to(msg.last_committed)
+            if msg.last_committed > self.last_committed:
+                if self.log.contains(msg.last_committed):
+                    self.last_committed = msg.last_committed
+                    self._apply_up_to(msg.last_committed)
+                else:
+                    # The leader committed entries we never received.
+                    self._request_resync()
         self._send(src, Pong(self.addr, self.current_epoch))
 
     def _on_pong(self, src: NodeAddress, msg: Pong) -> None:

@@ -97,6 +97,7 @@ class ZkClient:
         # Metrics.
         self.ops_completed = 0
         self.ops_failed = 0
+        self.retries_performed = 0
 
         self._alive = True
         self._procs = [
@@ -186,6 +187,141 @@ class ZkClient:
         event = self._submit(CloseSessionOp(self.session_id))
         return event
 
+    # -- retrying operations ------------------------------------------------
+    #
+    # Each logical operation gets ONE cxid, reused verbatim across every
+    # retry. The server's reply cache keys on (session_id, cxid), so a
+    # timed-out-but-committed write is recognized as a retry and answered
+    # from the cache instead of being applied a second time. Retrying with
+    # a fresh cxid (as a naive loop around set_data() would) silently
+    # double-applies under loss.
+
+    def submit_retrying(
+        self,
+        op: Any,
+        max_retries: int = 6,
+        backoff_ms: float = 250.0,
+    ) -> Event:
+        """Submit ``op`` under a stable cxid, retrying on connection loss.
+
+        Backoff doubles per attempt (capped); replicated failures (ApiError,
+        session expiry) are not retried — they are definitive outcomes.
+        """
+        cxid = self._next_cxid()
+        result = Event(self.env)
+        self.env.process(
+            self._retry_driver(op, cxid, result, max_retries, backoff_ms),
+            name=f"{self.name}.retry",
+        )
+        return result
+
+    def _retry_driver(
+        self,
+        op: Any,
+        cxid: int,
+        result: Event,
+        max_retries: int,
+        backoff_ms: float,
+    ):
+        delay = backoff_ms
+        attempt = 0
+        while True:
+            try:
+                value = yield self._submit_with_cxid(op, cxid)
+            except ConnectionLossError as exc:
+                attempt += 1
+                if attempt > max_retries:
+                    if not result.triggered:
+                        result.fail(exc)
+                    return
+                self.retries_performed += 1
+                try:
+                    yield self.env.timeout(delay)
+                except Interrupt:
+                    return
+                delay = min(delay * 2.0, 4000.0)
+                if self.expired or self.session_id is None:
+                    if not result.triggered:
+                        result.fail(SessionExpiredError(self.name))
+                    return
+                continue
+            except Exception as exc:  # definitive replicated outcome
+                if not result.triggered:
+                    result.fail(exc)
+                return
+            if not result.triggered:
+                result.succeed(value)
+            return
+
+    def create_retrying(
+        self,
+        path: str,
+        data: bytes = b"",
+        ephemeral: bool = False,
+        sequential: bool = False,
+        max_retries: int = 6,
+        backoff_ms: float = 250.0,
+    ) -> Event:
+        return self.submit_retrying(
+            CreateOp(path, data, ephemeral, sequential), max_retries, backoff_ms
+        )
+
+    def delete_retrying(
+        self, path: str, version: int = -1,
+        max_retries: int = 6, backoff_ms: float = 250.0,
+    ) -> Event:
+        return self.submit_retrying(DeleteOp(path, version), max_retries, backoff_ms)
+
+    def set_data_retrying(
+        self, path: str, data: bytes, version: int = -1,
+        max_retries: int = 6, backoff_ms: float = 250.0,
+    ) -> Event:
+        return self.submit_retrying(
+            SetDataOp(path, data, version), max_retries, backoff_ms
+        )
+
+    def get_data_retrying(
+        self, path: str, watch: bool = False,
+        max_retries: int = 6, backoff_ms: float = 250.0,
+    ) -> Event:
+        return self.submit_retrying(GetDataOp(path, watch), max_retries, backoff_ms)
+
+    def connect_retrying(
+        self, max_retries: int = 6, backoff_ms: float = 250.0
+    ) -> Event:
+        """Connect, retrying lost requests/replies with backoff.
+
+        Safe because the server answers a retried ConnectRequest with the
+        already-created session instead of minting a second one.
+        """
+        result = Event(self.env)
+
+        def driver():
+            delay = backoff_ms
+            attempt = 0
+            while True:
+                try:
+                    session_id = yield self.connect()
+                except ConnectionLossError as exc:
+                    attempt += 1
+                    if attempt > max_retries:
+                        if not result.triggered:
+                            result.fail(exc)
+                        return
+                    self.retries_performed += 1
+                    try:
+                        yield self.env.timeout(delay)
+                    except Interrupt:
+                        return
+                    delay = min(delay * 2.0, 4000.0)
+                    continue
+                if not result.triggered:
+                    result.succeed(session_id)
+                return
+
+        self.env.process(driver(), name=f"{self.name}.connect-retry")
+        return result
+
     def wait_watch(self, path: Optional[str] = None) -> Event:
         """Event that fires on the next watch notification (for ``path``).
 
@@ -198,13 +334,18 @@ class ZkClient:
 
     # ----------------------------------------------------------------- guts
 
-    def _submit(self, op: Any) -> Event:
+    def _next_cxid(self) -> int:
         if self.expired:
             raise SessionExpiredError(self.name)
         if self.session_id is None:
             raise RuntimeError(f"{self.name}: not connected")
         self._cxid += 1
-        cxid = self._cxid
+        return self._cxid
+
+    def _submit(self, op: Any) -> Event:
+        return self._submit_with_cxid(op, self._next_cxid())
+
+    def _submit_with_cxid(self, op: Any, cxid: int) -> Event:
         event = Event(self.env)
         self._pending[cxid] = event
         self.net.send(

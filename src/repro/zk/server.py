@@ -16,6 +16,7 @@ WanKeeper's level-1 broker extends this class and overrides the write path
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from repro.net.topology import NodeAddress
@@ -50,6 +51,12 @@ from repro.zk.watches import WatchManager
 __all__ = ["ZkServer"]
 
 SESSION_EXPIRED_CODE = "session_expired"
+
+#: How many (session_id, cxid) -> reply entries each replica retains for
+#: at-most-once suppression. Evicted entries re-open the (remote) window
+#: for a duplicate of a very old retry, as in ZooKeeper's bounded
+#: committed-log window.
+REPLY_CACHE_LIMIT = 8192
 
 
 class ZkServer:
@@ -90,10 +97,28 @@ class ZkServer:
         self._unrouted_txns: list = []
         self._system_cxid = 0
 
+        # At-most-once machinery. The reply cache maps (session_id, cxid)
+        # to the reply of the *first* commit of that request; it is rebuilt
+        # deterministically from the commit stream on every replica, so a
+        # duplicated or retried request that committed already is answered
+        # from the cache and never re-applied. Disable only to demonstrate
+        # the double-apply failure mode in tests.
+        self.reply_cache_enabled = True
+        self._reply_cache: "OrderedDict[Tuple[str, int], OpReply]" = OrderedDict()
+        #: Test probe: how many times each (session_id, cxid) reached the
+        #: tree on this replica; at-most-once means every count is 1.
+        self.apply_counts: Dict[Tuple[str, int], int] = {}
+        # Writes this server routed whose commit has not yet arrived;
+        # re-routed on the session ticker when overdue (a lost forward or a
+        # fallen leader), relying on downstream duplicate suppression.
+        self._inflight_txns: Dict[Tuple[str, int], Tuple[Txn, float]] = {}
+
         # Metrics.
         self.reads_served = 0
         self.writes_accepted = 0
         self.commits_applied = 0
+        self.replies_from_cache = 0
+        self.duplicate_commits_suppressed = 0
 
         self._alive = False
         self._procs = []
@@ -146,6 +171,10 @@ class ZkServer:
         self.watches = WatchManager()
         self.sessions = SessionTracker(str(self.client_addr))
         self._pending_writes = {}
+        # Rebuilt from the replayed log as commits re-apply from zero.
+        self._reply_cache = OrderedDict()
+        self.apply_counts = {}
+        self._inflight_txns = {}
         self.peer.restart()
         self._alive = True
         self._procs = [
@@ -190,7 +219,13 @@ class ZkServer:
             # request and answer once the ensemble is ready.
             self._deferred_connects.append((src, msg))
             return
-        session = self.sessions.create(msg.client, msg.timeout_ms, self.env.now)
+        # Idempotent: a retried ConnectRequest (the reply was lost) must
+        # not create a second session, or the first one leaks and expires.
+        session = self.sessions.find_by_client(msg.client)
+        if session is None:
+            session = self.sessions.create(msg.client, msg.timeout_ms, self.env.now)
+        else:
+            session.last_heard = self.env.now
         self.net.send(
             self.client_addr,
             src,
@@ -277,8 +312,23 @@ class ZkServer:
     # ---------------------------------------------------------------- writes
 
     def _accept_write(self, src: NodeAddress, msg: OpRequest) -> None:
+        key = (msg.session_id, msg.cxid)
+        if self.reply_cache_enabled:
+            cached = self._reply_cache.get(key)
+            if cached is not None:
+                # A retry of a request that already committed: at-most-once
+                # — answer from the cache, never re-apply.
+                self.replies_from_cache += 1
+                self.net.send(self.client_addr, src, cached)
+                return
+            if key in self._pending_writes:
+                # Retry of an in-flight write: refresh the reply target;
+                # the inflight retransmitter re-routes if the first
+                # forward died on the wire.
+                self._pending_writes[key] = src
+                return
         self.writes_accepted += 1
-        self._pending_writes[(msg.session_id, msg.cxid)] = src
+        self._pending_writes[key] = src
         txn = Txn(
             session_id=msg.session_id,
             cxid=msg.cxid,
@@ -286,6 +336,8 @@ class ZkServer:
             op=msg.op,
             origin_site=self.site,
         )
+        if self.reply_cache_enabled:
+            self._inflight_txns[key] = (txn, self.env.now)
         self._route_write(txn)
 
     def _route_write(self, txn: Txn) -> None:
@@ -314,6 +366,10 @@ class ZkServer:
             op=op,
             origin_site=self.site,
         )
+        if self.reply_cache_enabled:
+            # System txns have no client to retry them; the inflight
+            # retransmitter is their only recovery from a lost forward.
+            self._inflight_txns[(txn.session_id, txn.cxid)] = (txn, self.env.now)
         self._route_write(txn)
 
     # ---------------------------------------------------------------- commits
@@ -321,11 +377,30 @@ class ZkServer:
     def _on_commit(self, zxid: Zxid, txn: Txn) -> None:
         self._commit_client_txn(zxid, txn)
 
-    def _commit_client_txn(self, zxid: Zxid, txn: Txn) -> ApplyOutcome:
-        """Apply one committed client txn: tree, watches, client reply."""
+    def _commit_client_txn(self, zxid: Zxid, txn: Txn) -> Optional[ApplyOutcome]:
+        """Apply one committed client txn: tree, watches, client reply.
+
+        At-most-once: a second commit of the same (session_id, cxid) — a
+        retried request whose first attempt committed after all — is
+        suppressed here, strictly at the apply layer, so callers above
+        (WanKeeper token/stream bookkeeping) still see every commit.
+        Returns None for a suppressed duplicate.
+        """
+        key = (txn.session_id, txn.cxid)
+        self._inflight_txns.pop(key, None)
+        if self.reply_cache_enabled and key in self._reply_cache:
+            self.duplicate_commits_suppressed += 1
+            self._reply_from_cache(key)
+            return None
         outcome = self._apply_txn(zxid, txn)
+        self.apply_counts[key] = self.apply_counts.get(key, 0) + 1
         self._fire_watches(outcome)
-        self._maybe_reply(txn, outcome)
+        reply = self._build_reply(txn, outcome)
+        if self.reply_cache_enabled:
+            self._reply_cache[key] = reply
+            while len(self._reply_cache) > REPLY_CACHE_LIMIT:
+                self._reply_cache.popitem(last=False)
+        self._maybe_reply(txn, reply)
         if isinstance(txn.op, CloseSessionOp):
             # If the closed session is hosted here, retire it locally.
             if self.sessions.get(txn.op.session_id) is not None:
@@ -348,29 +423,45 @@ class ZkServer:
                         WatchNotify(session_id, fired),
                     )
 
-    def _maybe_reply(self, txn: Txn, outcome: ApplyOutcome) -> None:
+    @staticmethod
+    def _build_reply(txn: Txn, outcome: ApplyOutcome) -> OpReply:
+        if outcome.ok:
+            return OpReply(txn.session_id, txn.cxid, ok=True, value=outcome.value)
+        assert outcome.error is not None
+        return OpReply(
+            txn.session_id,
+            txn.cxid,
+            ok=False,
+            error_code=outcome.error.code,
+            error_path=outcome.error.path,
+        )
+
+    def _maybe_reply(self, txn: Txn, reply: OpReply) -> None:
         if txn.origin != self.client_addr:
             return
         key = (txn.session_id, txn.cxid)
         client = self._pending_writes.pop(key, None)
         if client is None:
             return  # system txn or a retry the client abandoned
-        if outcome.ok:
-            reply = OpReply(txn.session_id, txn.cxid, ok=True, value=outcome.value)
-        else:
-            assert outcome.error is not None
-            reply = OpReply(
-                txn.session_id,
-                txn.cxid,
-                ok=False,
-                error_code=outcome.error.code,
-                error_path=outcome.error.path,
-            )
         self.net.send(self.client_addr, client, reply)
 
+    def _reply_from_cache(self, key: Tuple[str, int]) -> None:
+        """Answer a still-waiting client from the cached first reply."""
+        client = self._pending_writes.pop(key, None)
+        if client is None:
+            return
+        self.net.send(self.client_addr, client, self._reply_cache[key])
+
     def _on_tree_reset(self, _peer: ZabPeer) -> None:
-        """SNAP sync rewrote the log: rebuild the tree from zero."""
+        """SNAP sync rewrote the log: rebuild the tree from zero.
+
+        The reply cache and the apply-count probe are derived from the
+        commit stream, so they reset with it — a stale cache would
+        suppress the legitimate replay and leave the tree empty.
+        """
         self.tree = DataTree()
+        self._reply_cache = OrderedDict()
+        self.apply_counts = {}
 
     # ---------------------------------------------------------------- sessions
 
@@ -385,6 +476,8 @@ class ZkServer:
                 return
             if self.is_serving:
                 self._drain_deferred()
+                if self.reply_cache_enabled:
+                    self._retry_inflight_writes()
             for session in self.sessions.expired_sessions(self.env.now):
                 self._expire_session(session.session_id)
 
@@ -397,6 +490,23 @@ class ZkServer:
             # Through the full routing path: by now this server may have
             # become leader and must apply leader-side routing (token
             # checks in WanKeeper).
+            self._route_write(txn)
+
+    def _retry_inflight_writes(self) -> None:
+        """Re-route writes whose commit never arrived.
+
+        A forward can vanish on a lossy link, or the leader that held the
+        proposal can fall over; either way the commit that would clear the
+        entry never happens. Re-routing is safe: the Zab leader drops
+        duplicate forwards and the reply cache suppresses any duplicate
+        commit that slips through.
+        """
+        now = self.env.now
+        overdue = 2 * self.config.election_timeout_ms
+        for key, (txn, routed_at) in list(self._inflight_txns.items()):
+            if now - routed_at < overdue:
+                continue
+            self._inflight_txns[key] = (txn, now)
             self._route_write(txn)
 
     def _expire_session(self, session_id: str) -> None:

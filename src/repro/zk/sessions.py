@@ -45,6 +45,17 @@ class SessionTracker:
     def get(self, session_id: str) -> Optional[Session]:
         return self._sessions.get(session_id)
 
+    def find_by_client(self, client: Any) -> Optional[Session]:
+        """The live session of ``client``, if one exists.
+
+        Lets a retried ConnectRequest (reply lost on the wire) be answered
+        idempotently instead of minting a second session.
+        """
+        for session in self._sessions.values():
+            if session.client == client and not session.expired:
+                return session
+        return None
+
     def touch(self, session_id: str, now: float) -> bool:
         """Record liveness; False if the session is unknown/expired."""
         session = self._sessions.get(session_id)

@@ -158,6 +158,120 @@ def test_nemesis_double_start_rejected():
         nemesis.start()
 
 
+def test_quorum_guard_enforces_strict_majority_regardless_of_fraction():
+    """min_live_fraction=0 must not let the guard crash below a strict
+    majority: the floor is len(servers)//2 + 1, always."""
+    env, topo, net = fresh_world(seed=9)
+    deployment = build(env, net, topo)
+    nemesis = Nemesis(
+        env, net, deployment, random.Random(42),
+        NemesisConfig(min_live_fraction=0.0, repair_after_ms=1e9),
+    )
+    for _ in range(50):
+        nemesis._maybe_crash()
+    for site in SITES:
+        live = sum(1 for s in deployment.by_site[site] if s.is_alive)
+        assert live >= 2, site  # strict majority of 3
+
+
+def test_repair_dwell_respects_cap_factor():
+    env, topo, net = fresh_world(seed=9)
+    deployment = build(env, net, topo)
+    nemesis = Nemesis(
+        env, net, deployment, random.Random(7),
+        NemesisConfig(repair_after_ms=100.0, repair_cap_factor=2.0),
+    )
+    draws = [nemesis._dwell() for _ in range(500)]
+    assert all(0.0 < draw <= 200.0 for draw in draws)
+    assert max(draws) == 200.0  # the exponential tail actually hits the cap
+
+
+def test_stop_and_repair_heals_all_fault_kinds():
+    """Open symmetric partitions, one-way partitions, degradations, and
+    crashes must all be undone by stop_and_repair."""
+    env, topo, net = fresh_world(seed=9)
+    deployment = build(env, net, topo)
+    nemesis = Nemesis(
+        env, net, deployment, random.Random(11),
+        NemesisConfig(
+            repair_after_ms=1e9,
+            max_active_partitions=10,
+            max_active_degradations=10,
+        ),
+    )
+    for _ in range(30):
+        nemesis._maybe_crash()
+        nemesis._maybe_partition()
+        nemesis._maybe_oneway_partition()
+        nemesis._maybe_flaky_link()
+        nemesis._maybe_gray_degrade()
+    assert any(not s.is_alive for s in deployment.servers)
+    assert net._partitions and net._oneway_partitions and net._link_profiles
+
+    nemesis.stop_and_repair()
+    assert all(s.is_alive for s in deployment.servers)
+    assert not net._partitions
+    assert not net._oneway_partitions
+    assert not net._link_profiles
+    assert not (nemesis._down or nemesis._partitions or nemesis._oneway
+                or nemesis._degraded)
+
+
+def test_nemesis_degradation_restores_ambient_profile():
+    """A flaky-link or gray fault on a link that already has an ambient
+    profile (a lossy-WAN soak baseline) must put the ambient profile back
+    on repair instead of wiping it."""
+    from repro.net import LinkProfile
+
+    env, topo, net = fresh_world(seed=9)
+    deployment = build(env, net, topo)
+    ambient = LinkProfile(loss=0.02, duplicate=0.02)
+    for site_a, site_b in ((VIRGINIA, CALIFORNIA), (VIRGINIA, FRANKFURT),
+                           (CALIFORNIA, FRANKFURT)):
+        net.degrade(site_a, site_b, ambient)
+    nemesis = Nemesis(
+        env, net, deployment, random.Random(13),
+        NemesisConfig(repair_after_ms=1e9, max_active_degradations=10),
+    )
+    nemesis._maybe_gray_degrade()
+    nemesis._maybe_flaky_link()
+    grayed = [e.target for e in nemesis.events if e.kind == "gray-degrade"]
+    assert grayed  # ambient profiles no longer block the new fault kinds
+    site_a, site_b = grayed[0].split("~")
+    profile = net.link_profile(site_a, site_b)
+    assert profile.delay_factor == nemesis.config.gray_delay_factor
+    assert profile.loss == ambient.loss  # ambient loss kept while gray
+
+    nemesis.stop_and_repair()
+    assert net.link_profile(site_a, site_b) == ambient
+
+
+def test_new_fault_kinds_fire_and_are_reproducible():
+    def run_once():
+        env, topo, net = fresh_world(seed=14)
+        deployment = build(env, net, topo)
+        nemesis = Nemesis(
+            env, net, deployment, random.Random(55),
+            NemesisConfig(
+                interval_ms=400.0,
+                crash_probability=0.0,
+                partition_probability=0.0,
+                flaky_link_probability=0.3,
+                oneway_partition_probability=0.3,
+                gray_degrade_probability=0.3,
+                repair_after_ms=1500.0,
+            ),
+        )
+        nemesis.start()
+        env.run(until=env.now + 20000.0)
+        return [(e.time, e.kind, e.target) for e in nemesis.events]
+
+    events = run_once()
+    kinds = {kind for _t, kind, _target in events}
+    assert {"flaky-link", "oneway-partition", "gray-degrade"} <= kinds
+    assert run_once() == events
+
+
 def test_chaos_with_l2_failover_enabled():
     """Chaos with the failover machinery armed: intra-site crashes and
     short partitions must never trigger a spurious hub promotion, and the

@@ -1,0 +1,172 @@
+"""Unit tests for the lossy-link fault model (LinkProfile + tagged drops)."""
+
+import pytest
+
+from repro.net import (
+    CALIFORNIA,
+    FRANKFURT,
+    VIRGINIA,
+    LinkProfile,
+    Network,
+    wan_topology,
+)
+from repro.observability import MessageStats
+from repro.sim import Environment, seeded_rng
+
+
+def make_net(jitter=0.0, seed=1):
+    env = Environment()
+    topo = wan_topology(jitter_fraction=jitter)
+    net = Network(env, topo, rng=seeded_rng(seed, "net"))
+    return env, topo, net
+
+
+def endpoints(topo, net, src_site=VIRGINIA, dst_site=CALIFORNIA):
+    src = topo.site(src_site).address("src")
+    dst = topo.site(dst_site).address("dst")
+    net.register(src)
+    inbox = net.register(dst)
+    return src, dst, inbox
+
+
+def drain(env, inbox):
+    """Run the simulation dry and return (arrival time, body) pairs."""
+    arrivals = []
+
+    def receiver():
+        while True:
+            envelope = yield inbox.get()
+            arrivals.append((env.now, envelope.body))
+
+    env.process(receiver())
+    env.run()
+    return arrivals
+
+
+def test_link_profile_validates_probabilities():
+    with pytest.raises(ValueError):
+        LinkProfile(loss=1.5)
+    with pytest.raises(ValueError):
+        LinkProfile(duplicate=-0.1)
+    with pytest.raises(ValueError):
+        LinkProfile(delay_factor=0.0)
+    profile = LinkProfile(loss=0.5, duplicate=0.5, delay_factor=2.0)
+    assert profile.loss == 0.5
+
+
+def test_total_loss_drops_everything_tagged_as_loss():
+    env, topo, net = make_net()
+    src, dst, inbox = endpoints(topo, net)
+    net.degrade(VIRGINIA, CALIFORNIA, LinkProfile(loss=1.0))
+    for i in range(5):
+        net.send(src, dst, f"m{i}")
+    assert drain(env, inbox) == []
+    assert net.messages_dropped == 5
+    assert net.drops_by_reason["loss"] == 5
+
+
+def test_duplication_delivers_copies_in_fifo_order():
+    env, topo, net = make_net()
+    src, dst, inbox = endpoints(topo, net)
+    net.degrade(VIRGINIA, CALIFORNIA, LinkProfile(duplicate=1.0))
+    net.send(src, dst, "a")
+    net.send(src, dst, "b")
+    arrivals = drain(env, inbox)
+    # Each message delivered twice; FIFO per pair holds across copies.
+    assert [body for _t, body in arrivals] == ["a", "a", "b", "b"]
+    times = [t for t, _body in arrivals]
+    assert times == sorted(times)
+    assert net.messages_duplicated == 2
+
+
+def test_gray_delay_factor_multiplies_latency():
+    env, topo, net = make_net()
+    src, dst, inbox = endpoints(topo, net)
+    baseline = topo.one_way(src, dst)
+    net.degrade(VIRGINIA, CALIFORNIA, LinkProfile(delay_factor=8.0))
+    net.send(src, dst, "slow")
+    arrivals = drain(env, inbox)
+    assert arrivals == [(baseline * 8.0, "slow")]
+
+
+def test_one_way_partition_blocks_single_direction():
+    env, topo, net = make_net()
+    fwd_src = topo.site(VIRGINIA).address("v")
+    rev_src = topo.site(CALIFORNIA).address("c")
+    net.register(fwd_src)
+    rev_inbox = net.register(rev_src)
+
+    net.partition_one_way(VIRGINIA, CALIFORNIA)
+    assert net.partitioned_one_way(VIRGINIA, CALIFORNIA)
+    assert not net.partitioned_one_way(CALIFORNIA, VIRGINIA)
+    net.send(fwd_src, rev_src, "blocked")
+    assert net.drops_by_reason["partition"] == 1
+    net.send(rev_src, fwd_src, "allowed")  # reverse direction still works
+
+    fwd_inbox = net.inbox(fwd_src)
+    got = []
+
+    def receiver():
+        envelope = yield fwd_inbox.get()
+        got.append(envelope.body)
+
+    env.process(receiver())
+    env.run()
+    assert got == ["allowed"]
+    assert len(rev_inbox) == 0
+
+    net.heal_one_way(VIRGINIA, CALIFORNIA)
+    assert not net.partitioned_one_way(VIRGINIA, CALIFORNIA)
+
+
+def test_heal_clears_one_way_partitions_too():
+    _env, _topo, net = make_net()
+    net.partition_one_way(VIRGINIA, FRANKFURT)
+    net.partition_one_way(FRANKFURT, VIRGINIA)
+    net.heal(VIRGINIA, FRANKFURT)
+    assert not net.partitioned_one_way(VIRGINIA, FRANKFURT)
+    assert not net.partitioned_one_way(FRANKFURT, VIRGINIA)
+
+
+def test_asymmetric_degrade_and_restore():
+    _env, _topo, net = make_net()
+    profile = LinkProfile(loss=0.3)
+    net.degrade(VIRGINIA, CALIFORNIA, profile, symmetric=False)
+    assert net.link_profile(VIRGINIA, CALIFORNIA) is profile
+    assert net.link_profile(CALIFORNIA, VIRGINIA) is None
+    net.degrade(CALIFORNIA, FRANKFURT, profile)
+    assert net.link_profile(FRANKFURT, CALIFORNIA) is profile
+    net.restore(VIRGINIA, CALIFORNIA)
+    assert net.link_profile(VIRGINIA, CALIFORNIA) is None
+    net.restore_all()
+    assert net.link_profile(CALIFORNIA, FRANKFURT) is None
+
+
+def test_clean_links_draw_no_randomness():
+    """Determinism guard: without a profile, send() must not consume RNG."""
+    env, topo, net = make_net()
+    src, dst, inbox = endpoints(topo, net)
+    before = net.rng.getstate()
+    for i in range(3):
+        net.send(src, dst, i)
+    assert net.rng.getstate() == before
+    # With a profile the link does draw (loss and duplication checks).
+    net.degrade(VIRGINIA, CALIFORNIA, LinkProfile(loss=0.5, duplicate=0.5))
+    net.send(src, dst, "x")
+    assert net.rng.getstate() != before
+
+
+def test_message_stats_reports_drop_reasons_and_duplicates():
+    env, topo, net = make_net()
+    src, dst, inbox = endpoints(topo, net)
+    stats = MessageStats.attach(net)
+    net.degrade(VIRGINIA, CALIFORNIA, LinkProfile(loss=1.0))
+    net.send(src, dst, "lost")
+    net.restore_all()
+    net.crash(dst)
+    net.send(src, dst, "to-crashed")
+    assert stats.drops_by_reason() == {"loss": 1, "crash": 1}
+    report = stats.report()
+    assert "dropped: 2" in report
+    assert "loss=1" in report and "crash=1" in report
+    assert "duplicated: 0" in report
