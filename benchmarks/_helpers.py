@@ -1,5 +1,6 @@
 """Shared helpers for the benchmark harness."""
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -12,6 +13,19 @@ def save_table(name: str, text: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+
+
+def save_json(name: str, payload) -> str:
+    """Persist a JSON-serializable result under benchmarks/results/.
+
+    Returns the path written, for callers that want to report it.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def once(benchmark, fn):

@@ -1,0 +1,23 @@
+"""Simulator-throughput benchmark runner (kernel / transport / YCSB).
+
+A thin wrapper over :mod:`repro.bench` so the benchmark lives alongside the
+figure benchmarks. Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py [--quick] [--json]
+
+or through the CLI (same code)::
+
+    PYTHONPATH=src python -m repro bench [--quick] [--json] [--check]
+
+Writes ``BENCH_kernel.json`` in the current directory; run it from the repo
+root to refresh the committed before/after record. ``--check`` is the CI
+regression gate: it fails when events/sec drops more than 30% below the
+committed baseline (hardware-normalized via a calibration loop).
+"""
+
+import sys
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

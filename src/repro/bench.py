@@ -1,0 +1,376 @@
+"""Kernel/transport/end-to-end throughput benchmarks: ``repro bench``.
+
+Three workloads, each reporting wall-clock throughput of the simulation
+substrate itself (not simulated-time throughput, which is what the figure
+experiments measure):
+
+* **kernel** — a ring of processes exchanging items through
+  :class:`~repro.sim.store.Store` with interleaved timeouts; measures raw
+  scheduler events/sec with no network or protocol stack involved.
+* **transport** — a producer/consumer pair streaming messages across one
+  WAN link; measures messages/sec through :class:`~repro.net.Network`.
+* **ycsb** — a full seeded YCSB run against the replicated ZooKeeper world
+  (three sites, one client each); measures end-to-end events/sec and
+  ops/wall-sec through the entire stack.
+
+``repro bench`` writes ``BENCH_kernel.json`` in the current directory (the
+repo root, when run from there). An existing file's ``before`` section is
+preserved so the committed artifact keeps the pre-optimization numbers next
+to the current ones. ``--check`` compares a fresh run against the file's
+``after`` section — hardware-normalized via a calibration loop — and fails
+when events/sec regresses by more than ``CHECK_TOLERANCE``; CI runs it with
+``--quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "BENCH_FILE",
+    "CHECK_TOLERANCE",
+    "bench_kernel",
+    "bench_transport",
+    "bench_ycsb",
+    "calibrate",
+    "main",
+    "run_suite",
+]
+
+BENCH_FILE = "BENCH_kernel.json"
+
+# --check fails when normalized events/sec fall more than this fraction
+# below the committed baseline.
+CHECK_TOLERANCE = 0.30
+
+# (full size, --quick size) for each workload.
+_KERNEL_SIZES = {"procs": (50, 20), "rounds": (2000, 400)}
+_TRANSPORT_SIZES = {"messages": (60000, 10000)}
+_YCSB_SIZES = {"operations": (1500, 300), "records": (200, 100)}
+
+
+def _size(table: Dict[str, Any], key: str, quick: bool) -> int:
+    full, small = table[key]
+    return small if quick else full
+
+
+# -- workloads ---------------------------------------------------------------
+
+
+def bench_kernel(quick: bool = False) -> Dict[str, Any]:
+    """Scheduler-only ring benchmark: Store ping-pong plus timeouts."""
+    from repro.sim import Environment, Store
+
+    n_procs = _size(_KERNEL_SIZES, "procs", quick)
+    n_rounds = _size(_KERNEL_SIZES, "rounds", quick)
+    env = Environment()
+    stores = [Store(env) for _ in range(n_procs)]
+
+    def actor(env, i):
+        nxt = stores[(i + 1) % n_procs]
+        mine = stores[i]
+        for r in range(n_rounds):
+            yield env.timeout(0.1)
+            nxt.put(r)
+            yield mine.get()
+
+    for i in range(n_procs):
+        env.process(actor(env, i), name=f"actor{i}")
+    started = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - started
+    return {
+        "events": env._seq,
+        "wall_s": wall,
+        "events_per_sec": env._seq / wall,
+    }
+
+
+def bench_transport(quick: bool = False) -> Dict[str, Any]:
+    """One-link streaming benchmark through the Network layer."""
+    from repro.net import Network, wan_topology
+    from repro.net.topology import NodeAddress
+    from repro.sim import Environment
+
+    n_messages = _size(_TRANSPORT_SIZES, "messages", quick)
+    env = Environment()
+    topo = wan_topology(jitter_fraction=0.0)
+    net = Network(env, topo)
+    src = NodeAddress("virginia", "src")
+    dst = NodeAddress("california", "dst")
+    net.register(src)
+    inbox = net.register(dst)
+    received = [0]
+
+    def producer(env):
+        for i in range(n_messages):
+            net.send(src, dst, i)
+            if i % 100 == 99:
+                yield env.timeout(1.0)
+
+    def consumer(env):
+        while received[0] < n_messages:
+            yield inbox.get()
+            received[0] += 1
+
+    env.process(producer(env), name="producer")
+    env.process(consumer(env), name="consumer")
+    started = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - started
+    assert received[0] == n_messages
+    return {
+        "messages": n_messages,
+        "wall_s": wall,
+        "msgs_per_sec": n_messages / wall,
+        "events": env._seq,
+        "events_per_sec": env._seq / wall,
+    }
+
+
+def bench_ycsb(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
+    """End-to-end seeded YCSB run against the replicated ZooKeeper world."""
+    from repro.experiments.common import build_world
+    from repro.sim import seeded_rng
+    from repro.workloads.driver import ClientPlan, YcsbSpec, run_ycsb
+    from repro.workloads.stats import LatencyRecorder
+
+    operations = _size(_YCSB_SIZES, "operations", quick)
+    records = _size(_YCSB_SIZES, "records", quick)
+    started = time.perf_counter()
+    world = build_world("zk", seed=seed)
+    spec = YcsbSpec(
+        record_count=records, operation_count=operations, write_fraction=0.5
+    )
+    plans = []
+    for i, site in enumerate(("virginia", "california", "frankfurt")):
+        plans.append(
+            ClientPlan(
+                world.client(site),
+                seeded_rng(seed, f"client{i}"),
+                LatencyRecorder(site),
+            )
+        )
+    run_ycsb(world.env, plans, spec)
+    wall = time.perf_counter() - started
+    ops = sum(plan.recorder.count() for plan in plans)
+    return {
+        "ops": ops,
+        "wall_s": wall,
+        "ops_per_wall_sec": ops / wall,
+        "events": world.env._seq,
+        "events_per_sec": world.env._seq / wall,
+        "messages": world.net.messages_sent,
+    }
+
+
+# -- hardware normalization ---------------------------------------------------
+
+
+def calibrate(rounds: int = 3) -> float:
+    """A machine-speed score (higher = faster), used to normalize --check.
+
+    Runs a tiny fixed kernel workload — the same primitives the real
+    benchmarks exercise — and returns its events/sec. Comparing
+    ``events_per_sec / calibration`` across machines cancels most of the
+    hardware difference, so the CI regression gate tracks code changes, not
+    runner speed.
+    """
+    from repro.sim import Environment, Store
+
+    best = 0.0
+    for _ in range(rounds):
+        env = Environment()
+        store = Store(env)
+
+        def bouncer(env):
+            for r in range(2000):
+                yield env.timeout(0.1)
+                store.put(r)
+                yield store.get()
+
+        env.process(bouncer(env), name="cal")
+        started = time.perf_counter()
+        env.run()
+        wall = time.perf_counter() - started
+        best = max(best, env._seq / wall)
+    return best
+
+
+# -- suite -------------------------------------------------------------------
+
+
+def run_suite(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
+    results: Dict[str, Any] = {
+        "quick": quick,
+        "calibration_events_per_sec": calibrate(),
+        "kernel": bench_kernel(quick=quick),
+        "transport": bench_transport(quick=quick),
+        "ycsb": bench_ycsb(quick=quick, seed=seed),
+    }
+    return results
+
+
+def _format_suite(results: Dict[str, Any]) -> str:
+    from repro.experiments.common import format_table
+
+    rows = [
+        [
+            "kernel",
+            results["kernel"]["events"],
+            f"{results['kernel']['events_per_sec']:,.0f}",
+            "-",
+        ],
+        [
+            "transport",
+            results["transport"]["events"],
+            f"{results['transport']['events_per_sec']:,.0f}",
+            f"{results['transport']['msgs_per_sec']:,.0f} msgs/s",
+        ],
+        [
+            "ycsb",
+            results["ycsb"]["events"],
+            f"{results['ycsb']['events_per_sec']:,.0f}",
+            f"{results['ycsb']['ops_per_wall_sec']:,.0f} ops/s",
+        ],
+    ]
+    suffix = " (quick)" if results.get("quick") else ""
+    return format_table(
+        ["bench", "events", "events/sec", "domain rate"],
+        rows,
+        title=f"Simulator throughput{suffix}",
+    )
+
+
+def _check(
+    results: Dict[str, Any], baseline: Dict[str, Any]
+) -> List[str]:
+    """Compare normalized events/sec against a baseline suite result.
+
+    Returns a list of failure messages (empty = pass). Only benches present
+    in both results are compared, and the baseline must have been taken at
+    the same size (quick vs full) to be comparable.
+    """
+    failures = []
+    if bool(baseline.get("quick")) != bool(results.get("quick")):
+        return [
+            "baseline was recorded at a different size "
+            f"(baseline quick={baseline.get('quick')}, "
+            f"run quick={results.get('quick')}); re-record the baseline"
+        ]
+    cal_now = results["calibration_events_per_sec"]
+    cal_base = baseline.get("calibration_events_per_sec")
+    scale = (cal_now / cal_base) if cal_base else 1.0
+    for name in ("kernel", "transport", "ycsb"):
+        if name not in baseline or name not in results:
+            continue
+        measured = results[name]["events_per_sec"]
+        expected = baseline[name]["events_per_sec"] * scale
+        floor = expected * (1.0 - CHECK_TOLERANCE)
+        if measured < floor:
+            failures.append(
+                f"{name}: {measured:,.0f} events/sec is more than "
+                f"{CHECK_TOLERANCE:.0%} below the normalized baseline "
+                f"{expected:,.0f} (floor {floor:,.0f})"
+            )
+    return failures
+
+
+def _load_bench_file(path: str) -> Optional[Dict[str, Any]]:
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Measure simulator throughput (kernel/transport/ycsb).",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced sizes (CI smoke run)"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print results as JSON"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "compare against the committed baseline in BENCH_kernel.json "
+            f"and fail on a >{CHECK_TOLERANCE:.0%} events/sec regression"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        default=BENCH_FILE,
+        help=f"result file to write/check (default {BENCH_FILE})",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    results = run_suite(quick=args.quick, seed=args.seed)
+
+    if args.check:
+        existing = _load_bench_file(args.out)
+        if not existing:
+            print(f"--check: no baseline file {args.out!r}")
+            return 2
+        key = "quick_after" if args.quick else "after"
+        baseline = existing.get(key)
+        if not baseline:
+            print(f"--check: baseline file has no {key!r} section")
+            return 2
+        failures = _check(results, baseline)
+        print(_format_suite(results))
+        if failures:
+            for failure in failures:
+                print(f"FAIL {failure}")
+            return 1
+        print(f"OK within {CHECK_TOLERANCE:.0%} of committed baseline")
+        return 0
+
+    existing = _load_bench_file(args.out) or {}
+    payload = {
+        "schema": "bench_kernel/v1",
+        # Keep the recorded pre-optimization numbers next to current ones.
+        "before": existing.get("before"),
+        "after" if not args.quick else "quick_after": results,
+    }
+    for key in ("after", "quick_after"):
+        if key not in payload and key in existing:
+            payload[key] = existing[key]
+    before = payload.get("before")
+    after = payload.get("after")
+    if before and after:
+        payload["speedup"] = {
+            name: round(
+                after[name]["events_per_sec"] / before[name]["events_per_sec"],
+                3,
+            )
+            for name in ("kernel", "transport", "ycsb")
+            if name in before and name in after
+        }
+    elif "speedup" in existing:
+        payload["speedup"] = existing["speedup"]
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+    if args.json:
+        print(json.dumps(results, indent=2))
+    else:
+        print(_format_suite(results))
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

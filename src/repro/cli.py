@@ -253,9 +253,19 @@ EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        # Simulator-throughput benchmarks live behind their own subcommand
+        # with bench-specific flags (--quick/--json/--check); everything
+        # else goes through the figure-experiment parser below.
+        from repro.bench import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the WanKeeper paper's evaluation figures.",
+        description="Regenerate the WanKeeper paper's evaluation figures "
+        "('bench' runs the simulator throughput benchmarks).",
     )
     parser.add_argument(
         "experiment",

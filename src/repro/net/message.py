@@ -2,28 +2,43 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = ["Envelope"]
 
 
-@dataclass
 class Envelope:
     """A message in flight.
 
     ``body`` is an arbitrary protocol message object; the network never
     inspects it. ``seq`` is a global send sequence number used for stable
     ordering and debugging.
+
+    A hand-written ``__slots__`` class rather than a dataclass: the network
+    allocates one per message and the per-instance ``__dict__`` plus the
+    generated keyword-argument ``__init__`` showed up in profiles.
     """
 
-    src: Any
-    dst: Any
-    body: Any
-    send_time: float
-    deliver_time: float = 0.0
-    seq: int = 0
-    size_bytes: int = field(default=256)
+    __slots__ = ("src", "dst", "body", "send_time", "deliver_time", "seq",
+                 "size_bytes")
+
+    def __init__(
+        self,
+        src: Any,
+        dst: Any,
+        body: Any,
+        send_time: float,
+        deliver_time: float = 0.0,
+        seq: int = 0,
+        size_bytes: int = 256,
+    ):
+        self.src = src
+        self.dst = dst
+        self.body = body
+        self.send_time = send_time
+        self.deliver_time = deliver_time
+        self.seq = seq
+        self.size_bytes = size_bytes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

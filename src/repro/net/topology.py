@@ -41,12 +41,52 @@ DEFAULT_WAN_ONE_WAY_MS: Dict[FrozenSet[str], float] = {
 DEFAULT_LOCAL_ONE_WAY_MS = 0.25
 
 
-@dataclass(frozen=True, order=True)
 class NodeAddress:
-    """Address of a simulated node: ``site`` plus a name unique in the run."""
+    """Address of a simulated node: ``site`` plus a name unique in the run.
 
-    site: str
-    name: str
+    Immutable and hashable, like the frozen ordered dataclass it replaces —
+    but with the hash computed once at construction: addresses key every
+    inbox/FIFO/routing dict on the message hot path, so the per-lookup
+    tuple-build of the generated ``__hash__`` was measurable.
+    """
+
+    __slots__ = ("site", "name", "_hash")
+
+    def __init__(self, site: str, name: str):
+        object.__setattr__(self, "site", site)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash((site, name)))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError(f"NodeAddress is immutable (tried to set {key!r})")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not NodeAddress:
+            return NotImplemented
+        return self.site == other.site and self.name == other.name
+
+    def __ne__(self, other: object) -> bool:
+        if other.__class__ is not NodeAddress:
+            return NotImplemented
+        return self.site != other.site or self.name != other.name
+
+    def __lt__(self, other: "NodeAddress") -> bool:
+        return (self.site, self.name) < (other.site, other.name)
+
+    def __le__(self, other: "NodeAddress") -> bool:
+        return (self.site, self.name) <= (other.site, other.name)
+
+    def __gt__(self, other: "NodeAddress") -> bool:
+        return (self.site, self.name) > (other.site, other.name)
+
+    def __ge__(self, other: "NodeAddress") -> bool:
+        return (self.site, self.name) >= (other.site, other.name)
+
+    def __repr__(self) -> str:
+        return f"NodeAddress(site={self.site!r}, name={self.name!r})"
 
     def __str__(self) -> str:
         return f"{self.site}/{self.name}"
@@ -83,6 +123,12 @@ class Topology:
         self._one_way = dict(one_way_ms or {})
         self.local_one_way_ms = local_one_way_ms
         self.jitter_fraction = jitter_fraction
+        # Directed (src site, dst site) -> delay. A flat tuple-keyed mirror
+        # of _one_way so the per-message lookup in one_way() never builds a
+        # frozenset; kept in sync by _validate() and set_one_way(). Same-site
+        # pairs are seeded with local_one_way_ms so the message fast path is
+        # a single dict probe with no intra/inter-site branch.
+        self._pair_delay: Dict[Tuple[str, str], float] = {}
         self._validate()
 
     def _validate(self) -> None:
@@ -96,6 +142,13 @@ class Topology:
             for b in self.sites:
                 if a != b and frozenset({a, b}) not in self._one_way:
                     raise ValueError(f"missing latency between {a!r} and {b!r}")
+        self._pair_delay = {}
+        for pair, delay in self._one_way.items():
+            a, b = sorted(pair)
+            self._pair_delay[(a, b)] = delay
+            self._pair_delay[(b, a)] = delay
+        for name in self.sites:
+            self._pair_delay[(name, name)] = self.local_one_way_ms
 
     def site(self, name: str) -> Site:
         return self.sites[name]
@@ -110,13 +163,15 @@ class Topology:
         if delay_ms <= 0:
             raise ValueError(f"non-positive latency: {delay_ms}")
         self._one_way[frozenset({site_a, site_b})] = delay_ms
+        self._pair_delay[(site_a, site_b)] = delay_ms
+        self._pair_delay[(site_b, site_a)] = delay_ms
 
     def one_way(self, src: NodeAddress, dst: NodeAddress) -> float:
         """One-way delay in ms between two node addresses."""
         if src.site == dst.site:
             return self.local_one_way_ms
         try:
-            return self._one_way[frozenset({src.site, dst.site})]
+            return self._pair_delay[(src.site, dst.site)]
         except KeyError:
             raise ValueError(
                 f"no latency configured between {src.site!r} and {dst.site!r}"

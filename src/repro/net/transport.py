@@ -34,7 +34,9 @@ from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.net.message import Envelope
 from repro.net.topology import NodeAddress, Topology
-from repro.sim.kernel import Environment
+from heapq import heappush
+
+from repro.sim.kernel import PRIORITY_NORMAL, Environment, _Call
 from repro.sim.store import Store
 
 __all__ = ["LinkProfile", "Network", "NodeDownError"]
@@ -73,6 +75,32 @@ class LinkProfile:
 class Network:
     """Routes messages between registered node inboxes with WAN delays."""
 
+    __slots__ = (
+        "env",
+        "topology",
+        "rng",
+        "_inboxes",
+        "_down",
+        "_partitions",
+        "_oneway_partitions",
+        "_link_profiles",
+        "_last_delivery",
+        "_fast",
+        "_fast_horizon",
+        "_slow_floor",
+        "_fast_ok_after",
+        "_jitter_free",
+        "_pair_delay",
+        "_seq",
+        "messages_sent",
+        "messages_dropped",
+        "messages_duplicated",
+        "drops_by_reason",
+        "bytes_sent",
+        "_taps",
+        "_deliver_cb",
+    )
+
     def __init__(
         self,
         env: Environment,
@@ -89,6 +117,28 @@ class Network:
         # Directed (src site, dst site) -> degradation profile.
         self._link_profiles: Dict[Tuple[str, str], LinkProfile] = {}
         self._last_delivery: Dict[Tuple[NodeAddress, NodeAddress], float] = {}
+        # Fast-path state: while no fault of any kind is injected (and the
+        # topology is jitter-free) a send needs no RNG draws and no per-pair
+        # FIFO bookkeeping — delays are per-pair constants, so delivery
+        # times are monotone by construction. The watermarks make the
+        # transitions safe:
+        #  * _fast_horizon   — latest delivery time ever scheduled by the
+        #    fast path (fast sends are not tracked in _last_delivery);
+        #  * _slow_floor     — _fast_horizon frozen at the moment a fault
+        #    appears; a shrinking link (delay_factor < 1) may not undercut
+        #    untracked fast-path messages still in flight;
+        #  * _fast_ok_after  — when faults clear, the fast path re-arms only
+        #    once every tracked slow-path delivery is in the past.
+        self._fast = True
+        self._fast_horizon = 0.0
+        self._slow_floor = 0.0
+        self._fast_ok_after = 0.0
+        # Hoisted per-send invariants: jitter_fraction is fixed at topology
+        # construction, and _pair_delay (which includes same-site pairs) is
+        # mutated in place by Topology.set_one_way, so holding the dict
+        # itself stays in sync.
+        self._jitter_free = topology.jitter_fraction == 0.0
+        self._pair_delay = topology._pair_delay
         self._seq = 0
         self.messages_sent = 0
         self.messages_dropped = 0
@@ -96,6 +146,8 @@ class Network:
         self.drops_by_reason: Counter = Counter()
         self.bytes_sent = 0
         self._taps: List[Callable[[Envelope], None]] = []
+        # One bound method reused for every scheduled delivery.
+        self._deliver_cb = self._deliver
 
     # -- endpoints ----------------------------------------------------------
 
@@ -115,12 +167,31 @@ class Network:
 
     # -- failure injection ----------------------------------------------------
 
+    def _refresh_fast_path(self) -> None:
+        """Recompute the fast-path flag after any fault-state mutation."""
+        clear = not (
+            self._down
+            or self._partitions
+            or self._oneway_partitions
+            or self._link_profiles
+        )
+        if clear:
+            if not self._fast:
+                self._fast_ok_after = max(
+                    self._last_delivery.values(), default=0.0
+                )
+                self._fast = True
+        elif self._fast:
+            self._slow_floor = self._fast_horizon
+            self._fast = False
+
     def crash(self, addr: NodeAddress) -> None:
         """Crash a node: close its inbox and drop in-flight messages to it."""
         if addr not in self._inboxes:
             raise ValueError(f"unknown address: {addr}")
         self._down.add(addr)
         self._inboxes[addr].close()
+        self._refresh_fast_path()
 
     def restart(self, addr: NodeAddress) -> None:
         """Restart a crashed node with an empty inbox."""
@@ -128,6 +199,7 @@ class Network:
             raise ValueError(f"node not down: {addr}")
         self._down.discard(addr)
         self._inboxes[addr].reopen()
+        self._refresh_fast_path()
 
     def is_down(self, addr: NodeAddress) -> bool:
         return addr in self._down
@@ -137,6 +209,7 @@ class Network:
         if site_a == site_b:
             raise ValueError("cannot partition a site from itself")
         self._partitions.add(frozenset({site_a, site_b}))
+        self._refresh_fast_path()
 
     def partition_one_way(self, src_site: str, dst_site: str) -> None:
         """Sever only the ``src -> dst`` direction (asymmetric partition).
@@ -147,19 +220,23 @@ class Network:
         if src_site == dst_site:
             raise ValueError("cannot partition a site from itself")
         self._oneway_partitions.add((src_site, dst_site))
+        self._refresh_fast_path()
 
     def heal(self, site_a: str, site_b: str) -> None:
         """Restore connectivity between two sites (both directions)."""
         self._partitions.discard(frozenset({site_a, site_b}))
         self._oneway_partitions.discard((site_a, site_b))
         self._oneway_partitions.discard((site_b, site_a))
+        self._refresh_fast_path()
 
     def heal_one_way(self, src_site: str, dst_site: str) -> None:
         self._oneway_partitions.discard((src_site, dst_site))
+        self._refresh_fast_path()
 
     def heal_all(self) -> None:
         self._partitions.clear()
         self._oneway_partitions.clear()
+        self._refresh_fast_path()
 
     def partitioned(self, site_a: str, site_b: str) -> bool:
         if site_a == site_b:
@@ -189,14 +266,17 @@ class Network:
         self._link_profiles[(site_a, site_b)] = profile
         if symmetric:
             self._link_profiles[(site_b, site_a)] = profile
+        self._refresh_fast_path()
 
     def restore(self, site_a: str, site_b: str) -> None:
         """Remove any degradation between two sites (both directions)."""
         self._link_profiles.pop((site_a, site_b), None)
         self._link_profiles.pop((site_b, site_a), None)
+        self._refresh_fast_path()
 
     def restore_all(self) -> None:
         self._link_profiles.clear()
+        self._refresh_fast_path()
 
     def link_profile(self, src_site: str, dst_site: str) -> Optional[LinkProfile]:
         """The active degradation on the directed ``src -> dst`` link."""
@@ -223,21 +303,43 @@ class Network:
         profile loses the message — matching a broken TCP connection, where
         the sender discovers the failure only through its own timeouts.
         """
-        if dst not in self._inboxes:
-            raise ValueError(f"unknown destination: {dst}")
+        try:
+            inbox = self._inboxes[dst]
+        except KeyError:
+            raise ValueError(f"unknown destination: {dst}") from None
+        env = self.env
         self._seq += 1
         self.messages_sent += 1
         self.bytes_sent += size_bytes
-        envelope = Envelope(
-            src=src,
-            dst=dst,
-            body=body,
-            send_time=self.env.now,
-            seq=self._seq,
-            size_bytes=size_bytes,
-        )
-        for tap in self._taps:
-            tap(envelope)
+        envelope = Envelope(src, dst, body, env._now, 0.0, self._seq, size_bytes)
+        if self._taps:
+            for tap in self._taps:
+                tap(envelope)
+
+        if (
+            self._fast
+            and self._jitter_free
+            and env._now >= self._fast_ok_after
+        ):
+            # Fast path: no faults anywhere and no jitter. The one-way delay
+            # is a per-pair constant, so delivery times are monotone per
+            # ordered pair without any bookkeeping, and no RNG is consumed.
+            try:
+                delay = self._pair_delay[(src.site, dst.site)]
+            except KeyError:
+                delay = self.topology.one_way(src, dst)  # raises ValueError
+            deliver_at = env._now + delay
+            envelope.deliver_time = deliver_at
+            if deliver_at > self._fast_horizon:
+                self._fast_horizon = deliver_at
+            env._seq += 1
+            heappush(
+                env._queue,
+                (deliver_at, PRIORITY_NORMAL, env._seq,
+                 _Call(self._deliver_cb, (inbox, envelope))),
+            )
+            return
+
         if src in self._down or dst in self._down:
             self._drop("crash")
             return
@@ -256,10 +358,10 @@ class Network:
                 copies = 2
                 self.messages_duplicated += 1
         for _copy in range(copies):
-            self._schedule_delivery(envelope, profile)
+            self._schedule_delivery(inbox, envelope, profile)
 
     def _schedule_delivery(
-        self, envelope: Envelope, profile: Optional[LinkProfile]
+        self, inbox: Store, envelope: Envelope, profile: Optional[LinkProfile]
     ) -> None:
         delay = self.topology.one_way(envelope.src, envelope.dst)
         if profile is not None:
@@ -272,23 +374,47 @@ class Network:
         # message (or copy) on this connection.
         key = (envelope.src, envelope.dst)
         deliver_at = max(self.env.now + delay, self._last_delivery.get(key, 0.0))
+        if profile is not None and profile.delay_factor < 1.0:
+            # A shrinking link may not undercut fast-path messages that were
+            # in flight (untracked) when the degradation was installed.
+            deliver_at = max(deliver_at, self._slow_floor)
         self._last_delivery[key] = deliver_at
         envelope.deliver_time = deliver_at
+        self.env.call_in(
+            deliver_at - self.env.now, self._deliver_cb, (inbox, envelope)
+        )
 
-        def deliver(_event: Any, envelope: Envelope = envelope) -> None:
-            # Re-check liveness at delivery time: a crash or partition that
-            # happened while the message was in flight kills it.
-            if envelope.dst in self._down:
-                self._drop("crash")
-                return
-            if self.partitioned_one_way(envelope.src.site, envelope.dst.site):
-                self._drop("partition")
-                return
-            inbox = self._inboxes[envelope.dst]
-            if inbox.closed:
-                self._drop("inbox-closed")
-                return
+    def _deliver(self, item: Tuple[Store, Envelope]) -> None:
+        # Re-check liveness at delivery time: a crash or partition that
+        # happened while the message was in flight kills it. The inbox was
+        # resolved at send time (inboxes persist across crash/restart); only
+        # its state is re-checked here.
+        inbox, envelope = item
+        if self._down and envelope.dst in self._down:
+            self._drop("crash")
+            return
+        if (self._partitions or self._oneway_partitions) and (
+            self.partitioned_one_way(envelope.src.site, envelope.dst.site)
+        ):
+            self._drop("partition")
+            return
+        if inbox._closed:
+            self._drop("inbox-closed")
+            return
+        # Inlined Store.put for the consumer-mode inbox (every protocol
+        # endpoint registers a consumer); the closed check above already
+        # covers put()'s guard.
+        if inbox._consumer is not None:
+            if inbox._consumer_busy:
+                inbox._items.append(envelope)
+            else:
+                inbox._consumer_busy = True
+                env = self.env
+                env._seq += 1
+                heappush(
+                    env._queue,
+                    (env._now, PRIORITY_NORMAL, env._seq,
+                     _Call(inbox._run_consumer, envelope)),
+                )
+        else:
             inbox.put(envelope)
-
-        timer = self.env.timeout(deliver_at - self.env.now)
-        timer._add_callback(deliver)

@@ -10,9 +10,16 @@ FIFO-channel (TCP-like) guarantee.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List
+from heapq import heappush
+from typing import Any, Callable, Deque, Optional
 
-from repro.sim.kernel import Environment, Event, SimulationError
+from repro.sim.kernel import (
+    PRIORITY_NORMAL,
+    Environment,
+    Event,
+    SimulationError,
+    _Call,
+)
 
 __all__ = ["Store", "StoreClosed"]
 
@@ -24,11 +31,23 @@ class StoreClosed(Exception):
 class Store:
     """Unbounded FIFO store of items with event-based ``get``."""
 
+    __slots__ = (
+        "env",
+        "name",
+        "_items",
+        "_getters",
+        "_consumer",
+        "_consumer_busy",
+        "_closed",
+    )
+
     def __init__(self, env: Environment, name: str = ""):
         self.env = env
         self.name = name
         self._items: Deque[Any] = deque()
-        self._getters: List[Event] = []
+        self._getters: Deque[Event] = deque()
+        self._consumer: Optional[Callable[[Any], None]] = None
+        self._consumer_busy = False
         self._closed = False
 
     def __len__(self) -> int:
@@ -42,11 +61,57 @@ class Store:
         """Deposit ``item``; wakes the oldest waiting getter, if any."""
         if self._closed:
             raise SimulationError(f"put() on closed store {self.name!r}")
-        if self._getters:
-            getter = self._getters.pop(0)
+        if self._consumer is not None:
+            if self._consumer_busy:
+                self._items.append(item)
+            else:
+                self._consumer_busy = True
+                env = self.env
+                env._seq += 1
+                heappush(
+                    env._queue,
+                    (env._now, PRIORITY_NORMAL, env._seq,
+                     _Call(self._run_consumer, item)),
+                )
+        elif self._getters:
+            getter = self._getters.popleft()
             getter.succeed(item)
         else:
             self._items.append(item)
+
+    def consume(self, fn: Callable[[Any], None]) -> None:
+        """Register ``fn`` as this store's permanent consumer.
+
+        Every ``put`` then schedules ``fn(item)`` as a queued callback,
+        skipping the per-item ``get`` Event and generator round-trip of a
+        pump process, while reproducing a pump's scheduling *exactly*: one
+        item is in flight at a time, and the next buffered item is only
+        scheduled after ``fn`` returns — the moment a pump would have
+        re-issued ``get()``. (Scheduling buffered items eagerly at put time
+        instead would reorder same-instant processing across stores, which
+        the leader-election livelock guard in zab depends on.) The consumer
+        must guard against its owner being stopped: an item already queued
+        when the owner dies is still delivered, exactly as a pump that was
+        one step behind would have seen it.
+        """
+        if self._items or self._getters:
+            raise SimulationError(
+                f"consume() on store {self.name!r} with pending state"
+            )
+        self._consumer = fn
+
+    def _run_consumer(self, item: Any) -> None:
+        self._consumer(item)
+        if self._items:
+            env = self.env
+            env._seq += 1
+            heappush(
+                env._queue,
+                (env._now, PRIORITY_NORMAL, env._seq,
+                 _Call(self._run_consumer, self._items.popleft())),
+            )
+        else:
+            self._consumer_busy = False
 
     def get(self) -> Event:
         """Return an event that triggers with the next item."""
@@ -72,8 +137,9 @@ class Store:
         if self._closed:
             return
         self._closed = True
+        self._consumer_busy = False
         self._items.clear()
-        getters, self._getters = self._getters, []
+        getters, self._getters = self._getters, deque()
         for getter in getters:
             getter.fail(StoreClosed(self.name))
 

@@ -219,6 +219,28 @@ class WanKeeperServer(ZkServer):
 
         self._wan_proc = None
 
+        # WAN message dispatch table, built once (the per-message dict
+        # rebuild was a hot spot, exactly like ZabPeer._dispatch).
+        self._wan_handlers: Dict[type, Any] = {
+            WanHello: self._on_wan_hello,
+            WanWelcome: self._on_wan_welcome,
+            WanSubmit: self._on_wan_submit,
+            SiteReplicate: self._on_site_replicate,
+            RemoteApply: self._on_remote_apply,
+            WanAck: self._on_wan_ack,
+            TokenRecall: self._on_token_recall,
+            TokenReturn: self._on_token_return,
+            WanHeartbeat: self._on_wan_heartbeat,
+            WanHeartbeatAck: self._on_wan_heartbeat_ack,
+            L2PromotionRequest: self._on_l2_promotion_request,
+            L2PromotionVote: self._on_l2_promotion_vote,
+            L2Promoted: self._on_l2_promoted,
+            ReadLeaseRequest: self._on_read_lease_request,
+            ReadLeaseGrant: self._on_read_lease_grant,
+            ReadInvalidate: self._on_read_invalidate,
+            ReadInvalidateAck: self._on_read_invalidate_ack,
+        }
+
     # ----------------------------------------------------------- lifecycle
 
     @property
@@ -561,7 +583,7 @@ class WanKeeperServer(ZkServer):
             pinned = dataclasses.replace(
                 op, paths=tuple(self.tree.ephemerals_of(op.session_id))
             )
-            txn = dataclasses.replace(txn, op=pinned)
+            txn = txn.replace_op(pinned)
         self.tokens_granted += len(grants)
         self._propose(
             WanTxn(
@@ -835,33 +857,18 @@ class WanKeeperServer(ZkServer):
     # ---------------------------------------------------------- WAN messages
 
     def _on_client_message(self, src: NodeAddress, msg: Any) -> None:
-        handler = {
-            WanHello: self._on_wan_hello,
-            WanWelcome: self._on_wan_welcome,
-            WanSubmit: self._on_wan_submit,
-            SiteReplicate: self._on_site_replicate,
-            RemoteApply: self._on_remote_apply,
-            WanAck: self._on_wan_ack,
-            TokenRecall: lambda s, m: (
-                self._handle_recall(m.keys, m.grant_counts)
-                if s.site == self.current_l2_site
-                else None
-            ),
-            TokenReturn: lambda s, m: self._handle_return(m),
-            WanHeartbeat: self._on_wan_heartbeat,
-            WanHeartbeatAck: self._on_wan_heartbeat_ack,
-            L2PromotionRequest: self._on_l2_promotion_request,
-            L2PromotionVote: self._on_l2_promotion_vote,
-            L2Promoted: self._on_l2_promoted,
-            ReadLeaseRequest: self._on_read_lease_request,
-            ReadLeaseGrant: self._on_read_lease_grant,
-            ReadInvalidate: self._on_read_invalidate,
-            ReadInvalidateAck: self._on_read_invalidate_ack,
-        }.get(type(msg))
+        handler = self._wan_handlers.get(type(msg))
         if handler is not None:
             handler(src, msg)
         else:
             super()._on_client_message(src, msg)
+
+    def _on_token_recall(self, src: NodeAddress, msg: TokenRecall) -> None:
+        if src.site == self.current_l2_site:
+            self._handle_recall(msg.keys, msg.grant_counts)
+
+    def _on_token_return(self, src: NodeAddress, msg: TokenReturn) -> None:
+        self._handle_return(msg)
 
     def _on_wan_hello(self, src: NodeAddress, msg: WanHello) -> None:
         if self.is_hub_site and self.peer.is_leader:
@@ -1042,7 +1049,7 @@ class WanKeeperServer(ZkServer):
     def _wan_ticker(self):
         while self._alive:
             try:
-                yield self.env.timeout(self.wan.wan_tick_ms)
+                yield self.env.sleep(self.wan.wan_tick_ms)
             except Interrupt:
                 return
             if not self._alive:
@@ -1171,12 +1178,10 @@ class WanKeeperServer(ZkServer):
 
     # ------------------------------------------- strong reads (§VI tokens)
 
-    def _serve_read(self, src: NodeAddress, msg: OpRequest):
-        yield self.env.timeout(
-            self.config.processing_delay_ms + self.wan.marshalling_overhead_ms
-        )
-        if not self._alive:
-            return
+    def _read_delay_ms(self) -> float:
+        return self.config.processing_delay_ms + self.wan.marshalling_overhead_ms
+
+    def _handle_read(self, src: NodeAddress, msg: OpRequest) -> None:
         if self.wan.read_mode == "local":
             self._read_reply(src, msg)
             return

@@ -46,7 +46,18 @@ class YcsbSpec:
         return ZipfianChooser(self.record_count, self.zipf_theta)
 
     def value(self, rng: random.Random) -> bytes:
-        return bytes(rng.randrange(256) for _ in range(min(self.value_size, 16)))
+        # Bit-compatible unrolling of ``bytes(rng.randrange(256) for ...)``:
+        # randrange(256) draws getrandbits(9) and rejects values >= 256, so
+        # replaying that exact sequence leaves every seeded stream unchanged
+        # while skipping two wrapper frames per byte.
+        getrandbits = rng.getrandbits
+        out = bytearray(min(self.value_size, 16))
+        for i in range(len(out)):
+            r = getrandbits(9)
+            while r >= 256:
+                r = getrandbits(9)
+            out[i] = r
+        return bytes(out)
 
 
 def load_records(client: ZkClient, spec: YcsbSpec, indices: Optional[Sequence[int]] = None):
@@ -88,11 +99,15 @@ def ycsb_client(
     """
     chooser = chooser or spec.default_chooser()
     total = operation_count if operation_count is not None else spec.operation_count
+    # Key strings are pure functions of the index; format each once instead
+    # of per operation (choosers may exceed spec.record_count, hence the
+    # bounds-checked fallback).
+    keys = [spec.key(i) for i in range(spec.record_count)]
     for _ in range(total):
         if deadline_ms is not None and env.now >= deadline_ms:
             break
         index = chooser.choose(rng)
-        path = spec.key(index)
+        path = keys[index] if index < len(keys) else spec.key(index)
         is_write = rng.random() < spec.write_fraction
         start = env.now
         ok = True

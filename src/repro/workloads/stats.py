@@ -43,20 +43,32 @@ class LatencyRecorder:
         self.name = name
         self.samples: List[OpSample] = []
         self.errors = 0
+        # kind -> sorted ok-latency list, invalidated on record(). Every
+        # percentile/CDF/fraction query goes through latencies(); without
+        # the cache each query re-filtered and re-sorted the full sample
+        # list (reporting does dozens of queries per run).
+        self._sorted_cache: Dict[Optional[str], List[float]] = {}
 
     def record(self, kind: str, start: float, latency: float, ok: bool = True) -> None:
         self.samples.append(OpSample(kind, start, latency, ok))
+        if self._sorted_cache:
+            self._sorted_cache.clear()
         if not ok:
             self.errors += 1
 
     # -- selection ----------------------------------------------------------
 
     def latencies(self, kind: Optional[str] = None) -> List[float]:
-        return sorted(
-            s.latency
-            for s in self.samples
-            if s.ok and (kind is None or s.kind == kind)
-        )
+        """Sorted ok-latencies for ``kind`` (cached; treat as read-only)."""
+        cached = self._sorted_cache.get(kind)
+        if cached is None:
+            cached = sorted(
+                s.latency
+                for s in self.samples
+                if s.ok and (kind is None or s.kind == kind)
+            )
+            self._sorted_cache[kind] = cached
+        return cached
 
     def count(self, kind: Optional[str] = None) -> int:
         return sum(

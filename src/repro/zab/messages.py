@@ -159,47 +159,136 @@ class SubmitRequest:
     ctx: Any = None
 
 
-@dataclass(frozen=True)
 class Propose:
-    sender: NodeAddress
-    zxid: Zxid
-    txn: Any
+    """Leader -> follower: vote on this transaction.
+
+    A hand-written ``__slots__`` class (like the other broadcast-phase
+    messages below): one is allocated per send on the hot path, where the
+    frozen-dataclass ``__init__`` overhead was measurable.
+    """
+
+    __slots__ = ('sender', 'zxid', 'txn')
+
+    def __init__(self, sender: NodeAddress, zxid: Zxid, txn: Any):
+        self.sender = sender
+        self.zxid = zxid
+        self.txn = txn
+
+    def _astuple(self) -> tuple:
+        return (self.sender, self.zxid, self.txn)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Propose:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:
+        return f"Propose(sender={self.sender!r}, zxid={self.zxid!r}, txn={self.txn!r})"
 
 
-@dataclass(frozen=True)
 class Ack:
-    sender: NodeAddress
-    zxid: Zxid
+    __slots__ = ('sender', 'zxid')
+
+    def __init__(self, sender: NodeAddress, zxid: Zxid):
+        self.sender = sender
+        self.zxid = zxid
+
+    def _astuple(self) -> tuple:
+        return (self.sender, self.zxid)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Ack:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:
+        return f"Ack(sender={self.sender!r}, zxid={self.zxid!r})"
 
 
-@dataclass(frozen=True)
 class Commit:
-    sender: NodeAddress
-    zxid: Zxid
+    __slots__ = ('sender', 'zxid')
+
+    def __init__(self, sender: NodeAddress, zxid: Zxid):
+        self.sender = sender
+        self.zxid = zxid
+
+    def _astuple(self) -> tuple:
+        return (self.sender, self.zxid)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Commit:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:
+        return f"Commit(sender={self.sender!r}, zxid={self.zxid!r})"
 
 
-@dataclass(frozen=True)
 class Inform:
     """Leader -> observer: a committed transaction (observers skip voting)."""
 
-    sender: NodeAddress
-    zxid: Zxid
-    txn: Any
+    __slots__ = ('sender', 'zxid', 'txn')
+
+    def __init__(self, sender: NodeAddress, zxid: Zxid, txn: Any):
+        self.sender = sender
+        self.zxid = zxid
+        self.txn = txn
+
+    def _astuple(self) -> tuple:
+        return (self.sender, self.zxid, self.txn)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Inform:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:
+        return f"Inform(sender={self.sender!r}, zxid={self.zxid!r}, txn={self.txn!r})"
 
 
 # -- liveness ---------------------------------------------------------------
 
 
-@dataclass(frozen=True)
 class Ping:
-    sender: NodeAddress
-    epoch: int
-    # Leader piggybacks its last committed zxid so lagging followers can
-    # detect gaps (they resync via FollowerInfo if needed).
-    last_committed: Optional[Zxid] = None
+    """Leader -> members: liveness probe.
+
+    The leader piggybacks its last committed zxid so lagging followers
+    can detect gaps (they resync via FollowerInfo if needed).
+    """
+
+    __slots__ = ('sender', 'epoch', 'last_committed')
+
+    def __init__(self, sender: NodeAddress, epoch: int, last_committed: Optional[Zxid] = None):
+        self.sender = sender
+        self.epoch = epoch
+        self.last_committed = last_committed
+
+    def _astuple(self) -> tuple:
+        return (self.sender, self.epoch, self.last_committed)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Ping:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:
+        return f"Ping(sender={self.sender!r}, epoch={self.epoch!r}, last_committed={self.last_committed!r})"
 
 
-@dataclass(frozen=True)
 class Pong:
-    sender: NodeAddress
-    epoch: int
+    __slots__ = ('sender', 'epoch')
+
+    def __init__(self, sender: NodeAddress, epoch: int):
+        self.sender = sender
+        self.epoch = epoch
+
+    def _astuple(self) -> tuple:
+        return (self.sender, self.epoch)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Pong:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:
+        return f"Pong(sender={self.sender!r}, epoch={self.epoch!r})"

@@ -19,7 +19,7 @@ possibly-stale local reads. Failures surface as exceptions raised at the
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.net.topology import NodeAddress
 from repro.net.transport import Network
@@ -80,6 +80,7 @@ class ZkClient:
         self.name = name or str(addr)
 
         self.inbox = net.register(addr)
+        self.inbox.consume(self._on_envelope)
         self.session_id: Optional[str] = None
         self.expired = False
 
@@ -98,10 +99,11 @@ class ZkClient:
         self.ops_completed = 0
         self.ops_failed = 0
         self.retries_performed = 0
+        # One bound method reused for every request-timeout guard.
+        self._expire_cb = self._expire_request
 
         self._alive = True
         self._procs = [
-            env.process(self._pump(), name=f"{self.name}.pump"),
             env.process(self._heartbeater(), name=f"{self.name}.hb"),
         ]
 
@@ -359,38 +361,41 @@ class ZkClient:
     def _watch_timeout(
         self, event: Event, cxid: Optional[int] = None, what: str = ""
     ) -> None:
-        def guard():
-            yield self.env.timeout(self.request_timeout_ms)
-            if event.triggered:
-                return
-            if cxid is not None:
-                self._pending.pop(cxid, None)
-            self.ops_failed += 1
-            event.fail(
-                ConnectionLossError(
-                    f"{self.name}: {what} timed out after "
-                    f"{self.request_timeout_ms} ms"
-                )
+        # Fire-and-forget guard scheduled as a bare callback — one heap
+        # entry instead of a Process per request. call_in cannot be
+        # cancelled, so the callback detects staleness itself.
+        self.env.call_in(
+            self.request_timeout_ms, self._expire_cb, (event, cxid, what)
+        )
+
+    def _expire_request(self, args: Tuple[Event, Optional[int], str]) -> None:
+        event, cxid, what = args
+        if event.triggered:
+            return
+        if cxid is not None:
+            self._pending.pop(cxid, None)
+        self.ops_failed += 1
+        event.fail(
+            ConnectionLossError(
+                f"{self.name}: {what} timed out after "
+                f"{self.request_timeout_ms} ms"
             )
+        )
 
-        self.env.process(guard(), name=f"{self.name}.timeout")
-
-    def _pump(self):
-        while self._alive:
-            try:
-                envelope = yield self.inbox.get()
-            except (StoreClosed, Interrupt):
-                return
+    def _on_envelope(self, envelope) -> None:
+        # Inbox consumer: replaces the old _pump process.
+        if self._alive:
             self._on_message(envelope.body)
 
     def _on_message(self, msg: Any) -> None:
-        if isinstance(msg, ConnectReply):
+        # OpReply first: op replies dwarf every other message kind.
+        if isinstance(msg, OpReply):
+            self._on_reply(msg)
+        elif isinstance(msg, ConnectReply):
             self.session_id = msg.session_id
             self.expired = False
             if self._connect_event is not None and not self._connect_event.triggered:
                 self._connect_event.succeed(msg.session_id)
-        elif isinstance(msg, OpReply):
-            self._on_reply(msg)
         elif isinstance(msg, WatchNotify):
             self.watch_events.append(msg.event)
             if self.on_watch is not None:
@@ -441,7 +446,7 @@ class ZkClient:
         interval = self.session_timeout_ms / 3.0
         while self._alive:
             try:
-                yield self.env.timeout(interval)
+                yield self.env.sleep(interval)
             except Interrupt:
                 return
             if self.session_id is not None and not self.expired:

@@ -12,7 +12,6 @@ client is connected); the tree reports which watch events an applied txn
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.zab.zxid import Zxid
@@ -39,18 +38,34 @@ from repro.zk.records import Stat, WatchEvent, WatchType, Znode
 __all__ = ["ApplyOutcome", "DataTree"]
 
 
-@dataclass
 class ApplyOutcome:
     """Result of applying one write txn.
 
     ``ok`` plus either ``value`` (op-specific payload) or ``error``.
-    ``events`` lists the watch events the mutation fires.
+    ``events`` lists the watch events the mutation fires. A hand-written
+    ``__slots__`` class: one is allocated per committed write on every
+    replica.
     """
 
-    ok: bool
-    value: Any = None
-    error: Optional[ApiError] = None
-    events: List[WatchEvent] = field(default_factory=list)
+    __slots__ = ("ok", "value", "error", "events")
+
+    def __init__(
+        self,
+        ok: bool,
+        value: Any = None,
+        error: Optional[ApiError] = None,
+        events: Optional[List[WatchEvent]] = None,
+    ):
+        self.ok = ok
+        self.value = value
+        self.error = error
+        self.events = [] if events is None else events
+
+    def __repr__(self) -> str:
+        return (
+            f"ApplyOutcome(ok={self.ok!r}, value={self.value!r}, "
+            f"error={self.error!r}, events={self.events!r})"
+        )
 
 
 class DataTree:

@@ -31,21 +31,54 @@ class ConnectReply:
     timeout_ms: float
 
 
-@dataclass(frozen=True)
 class OpRequest:
-    session_id: str
-    cxid: int
-    op: Any
+    """Client -> server: one operation.
+
+    A hand-written ``__slots__`` class (with :class:`OpReply`): one of
+    each is allocated per client operation, where the frozen-dataclass
+    ``__init__`` overhead was measurable.
+    """
+
+    __slots__ = ('session_id', 'cxid', 'op')
+
+    def __init__(self, session_id: str, cxid: int, op: Any):
+        self.session_id = session_id
+        self.cxid = cxid
+        self.op = op
+
+    def _astuple(self) -> tuple:
+        return (self.session_id, self.cxid, self.op)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not OpRequest:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:
+        return f"OpRequest(session_id={self.session_id!r}, cxid={self.cxid!r}, op={self.op!r})"
 
 
-@dataclass(frozen=True)
 class OpReply:
-    session_id: str
-    cxid: int
-    ok: bool
-    value: Any = None
-    error_code: Optional[str] = None
-    error_path: str = ""
+    __slots__ = ('session_id', 'cxid', 'ok', 'value', 'error_code', 'error_path')
+
+    def __init__(self, session_id: str, cxid: int, ok: bool, value: Any = None, error_code: Optional[str] = None, error_path: str = ""):
+        self.session_id = session_id
+        self.cxid = cxid
+        self.ok = ok
+        self.value = value
+        self.error_code = error_code
+        self.error_path = error_path
+
+    def _astuple(self) -> tuple:
+        return (self.session_id, self.cxid, self.ok, self.value, self.error_code, self.error_path)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not OpReply:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:
+        return f"OpReply(session_id={self.session_id!r}, cxid={self.cxid!r}, ok={self.ok!r}, value={self.value!r}, error_code={self.error_code!r}, error_path={self.error_path!r})"
 
 
 @dataclass(frozen=True)

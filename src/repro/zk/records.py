@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Optional, Set
 
 from repro.zab.zxid import Zxid
@@ -11,18 +10,59 @@ from repro.zab.zxid import Zxid
 __all__ = ["Stat", "WatchEvent", "WatchType", "Znode"]
 
 
-@dataclass(frozen=True)
 class Stat:
-    """Znode metadata, as returned by read operations (ZooKeeper Stat)."""
+    """Znode metadata, as returned by read operations (ZooKeeper Stat).
 
-    czxid: Zxid
-    mzxid: Zxid
-    pzxid: Zxid
-    version: int
-    cversion: int
-    ephemeral_owner: Optional[str]
-    data_length: int
-    num_children: int
+    A hand-written ``__slots__`` class rather than a frozen dataclass: one
+    is allocated per read reply, and the frozen ``__init__`` (a chain of
+    ``object.__setattr__`` calls) was measurable on the read path.
+    """
+
+    __slots__ = ("czxid", "mzxid", "pzxid", "version", "cversion",
+                 "ephemeral_owner", "data_length", "num_children")
+
+    def __init__(
+        self,
+        czxid: Zxid,
+        mzxid: Zxid,
+        pzxid: Zxid,
+        version: int,
+        cversion: int,
+        ephemeral_owner: Optional[str],
+        data_length: int,
+        num_children: int,
+    ):
+        self.czxid = czxid
+        self.mzxid = mzxid
+        self.pzxid = pzxid
+        self.version = version
+        self.cversion = cversion
+        self.ephemeral_owner = ephemeral_owner
+        self.data_length = data_length
+        self.num_children = num_children
+
+    def _astuple(self) -> tuple:
+        return (self.czxid, self.mzxid, self.pzxid, self.version,
+                self.cversion, self.ephemeral_owner, self.data_length,
+                self.num_children)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Stat:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:
+        return (
+            f"Stat(czxid={self.czxid!r}, mzxid={self.mzxid!r}, "
+            f"pzxid={self.pzxid!r}, version={self.version!r}, "
+            f"cversion={self.cversion!r}, "
+            f"ephemeral_owner={self.ephemeral_owner!r}, "
+            f"data_length={self.data_length!r}, "
+            f"num_children={self.num_children!r})"
+        )
 
     @property
     def is_ephemeral(self) -> bool:
@@ -38,29 +78,90 @@ class WatchType(str, enum.Enum):
     NODE_CHILDREN_CHANGED = "node_children_changed"
 
 
-@dataclass(frozen=True)
 class WatchEvent:
-    """A fired watch, delivered asynchronously to the watching client."""
+    """A fired watch, delivered asynchronously to the watching client.
 
-    type: WatchType
-    path: str
+    Hand-written ``__slots__`` class (watch events are allocated on every
+    committed write); equality and hash match the frozen dataclass it
+    replaces.
+    """
+
+    __slots__ = ("type", "path")
+
+    def __init__(self, type: WatchType, path: str):
+        object.__setattr__(self, "type", type)
+        object.__setattr__(self, "path", path)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError(f"WatchEvent is immutable (tried to set {key!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not WatchEvent:
+            return NotImplemented
+        return self.type == other.type and self.path == other.path
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.path))
+
+    def __repr__(self) -> str:
+        return f"WatchEvent(type={self.type!r}, path={self.path!r})"
 
 
-@dataclass
 class Znode:
-    """One node in the replicated tree. Mutable; lives inside DataTree only."""
+    """One node in the replicated tree. Mutable; lives inside DataTree only.
 
-    path: str
-    data: bytes
-    czxid: Zxid
-    mzxid: Zxid
-    pzxid: Zxid
-    version: int = 0
-    cversion: int = 0
-    ephemeral_owner: Optional[str] = None
-    children: Set[str] = field(default_factory=set)
-    # Monotonic counter for naming sequential children.
-    sequence: int = 0
+    Hand-written ``__slots__`` class: every committed write reads and
+    mutates half a dozen node fields, and slot access avoids the
+    per-instance ``__dict__`` of the dataclass it replaces.
+    """
+
+    __slots__ = (
+        "path",
+        "data",
+        "czxid",
+        "mzxid",
+        "pzxid",
+        "version",
+        "cversion",
+        "ephemeral_owner",
+        "children",
+        # Monotonic counter for naming sequential children.
+        "sequence",
+    )
+
+    def __init__(
+        self,
+        path: str,
+        data: bytes,
+        czxid: Zxid,
+        mzxid: Zxid,
+        pzxid: Zxid,
+        version: int = 0,
+        cversion: int = 0,
+        ephemeral_owner: Optional[str] = None,
+        children: Optional[Set[str]] = None,
+        sequence: int = 0,
+    ):
+        self.path = path
+        self.data = data
+        self.czxid = czxid
+        self.mzxid = mzxid
+        self.pzxid = pzxid
+        self.version = version
+        self.cversion = cversion
+        self.ephemeral_owner = ephemeral_owner
+        self.children = set() if children is None else children
+        self.sequence = sequence
+
+    def __repr__(self) -> str:
+        return (
+            f"Znode(path={self.path!r}, data={self.data!r}, "
+            f"czxid={self.czxid!r}, mzxid={self.mzxid!r}, "
+            f"pzxid={self.pzxid!r}, version={self.version!r}, "
+            f"cversion={self.cversion!r}, "
+            f"ephemeral_owner={self.ephemeral_owner!r}, "
+            f"children={self.children!r}, sequence={self.sequence!r})"
+        )
 
     @property
     def is_ephemeral(self) -> bool:

@@ -85,6 +85,7 @@ class ZkServer:
         self.peer.on_reset = self._on_tree_reset
 
         self.client_inbox = net.register(client_addr)
+        self.client_inbox.consume(self._on_client_envelope)
         self.tree = DataTree()
         self.watches = WatchManager()
         self.sessions = SessionTracker(str(client_addr))
@@ -96,6 +97,8 @@ class ZkServer:
         # Write txns accepted while no leader was known; retried on tick.
         self._unrouted_txns: list = []
         self._system_cxid = 0
+        # One bound method reused for every scheduled read completion.
+        self._serve_read_cb = self._serve_read
 
         # At-most-once machinery. The reply cache maps (session_id, cxid)
         # to the reply of the *first* commit of that request; it is rebuilt
@@ -146,7 +149,6 @@ class ZkServer:
         self._alive = True
         self.peer.start()
         self._procs = [
-            self.env.process(self._client_loop(), name=f"{self.name}.clients"),
             self.env.process(self._session_ticker(), name=f"{self.name}.sessions"),
         ]
 
@@ -178,25 +180,22 @@ class ZkServer:
         self.peer.restart()
         self._alive = True
         self._procs = [
-            self.env.process(self._client_loop(), name=f"{self.name}.clients"),
             self.env.process(self._session_ticker(), name=f"{self.name}.sessions"),
         ]
 
     # ----------------------------------------------------------- client loop
 
-    def _client_loop(self):
-        while self._alive:
-            try:
-                envelope = yield self.client_inbox.get()
-            except (StoreClosed, Interrupt):
-                return
+    def _on_client_envelope(self, envelope) -> None:
+        # Inbox consumer: replaces the old _client_loop pump process.
+        if self._alive:
             self._on_client_message(envelope.src, envelope.body)
 
     def _on_client_message(self, src: NodeAddress, msg: Any) -> None:
-        if isinstance(msg, ConnectRequest):
-            self._handle_connect(src, msg)
-        elif isinstance(msg, OpRequest):
+        # OpRequest first: reads/writes dwarf connects and heartbeats.
+        if isinstance(msg, OpRequest):
             self._handle_op(src, msg)
+        elif isinstance(msg, ConnectRequest):
+            self._handle_connect(src, msg)
         elif isinstance(msg, SessionHeartbeat):
             self._handle_heartbeat(src, msg)
         else:
@@ -254,16 +253,24 @@ class ZkServer:
         if is_write_op(msg.op):
             self._accept_write(src, msg)
         else:
-            self.env.process(
-                self._serve_read(src, msg), name=f"{self.name}.read"
-            )
+            # A bare scheduled callback, not a Process per read: reads are
+            # the overwhelming majority of traffic and need no generator.
+            self.env.call_in(self._read_delay_ms(), self._serve_read_cb, (src, msg))
 
     # ---------------------------------------------------------------- reads
 
-    def _serve_read(self, src: NodeAddress, msg: OpRequest):
-        yield self.env.timeout(self.config.processing_delay_ms)
+    def _read_delay_ms(self) -> float:
+        """Simulated local processing time of a read (subclasses add to it)."""
+        return self.config.processing_delay_ms
+
+    def _serve_read(self, args: Tuple[NodeAddress, OpRequest]) -> None:
+        src, msg = args
         if not self._alive:
             return
+        self._handle_read(src, msg)
+
+    def _handle_read(self, src: NodeAddress, msg: OpRequest) -> None:
+        """Answer a read once its processing delay has elapsed (overridable)."""
         self._read_reply(src, msg)
 
     def _read_reply(self, src: NodeAddress, msg: OpRequest) -> None:
@@ -469,7 +476,7 @@ class ZkServer:
         interval = self.config.heartbeat_interval_ms * 2
         while self._alive:
             try:
-                yield self.env.timeout(interval)
+                yield self.env.sleep(interval)
             except Interrupt:
                 return
             if not self._alive:

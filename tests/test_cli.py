@@ -37,3 +37,16 @@ def test_cli_seed_changes_nothing_structural(capsys):
     # Determinism: identical output for identical seed (modulo timing line).
     strip = lambda text: [l for l in text.splitlines() if not l.startswith("[")]
     assert strip(first) == strip(second)
+
+
+def test_cli_bench_quick_writes_results(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["bench", "--quick"]) == 0
+    output = capsys.readouterr().out
+    assert "Simulator throughput" in output
+    assert (tmp_path / "BENCH_kernel.json").exists()
+
+
+def test_cli_bench_check_without_baseline_fails(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["bench", "--quick", "--check"]) == 2

@@ -471,3 +471,159 @@ def test_rng_fork_differs():
     registry = RngRegistry(seed=7)
     forked = registry.fork("salt")
     assert registry.stream("x").random() != forked.stream("x").random()
+
+
+# -- optimization-specific behaviour ------------------------------------------
+
+
+def test_sleep_timeouts_are_pooled_and_recycled():
+    env = Environment()
+    observed = []
+
+    def sleeper(env):
+        first = env.sleep(1.0, "one")
+        observed.append(("first-value", first._value))
+        yield first
+        # `first` is recycled only after its callbacks finish, which is
+        # *after* this resumption — so the second sleep must be a fresh
+        # object...
+        second = env.sleep(2.0)
+        observed.append(("second-is-first", second is first))
+        yield second
+        # ...while by now `first` sits in the pool and is handed back.
+        third = env.sleep(3.0, "three")
+        observed.append(("third-is-first", third is first))
+        observed.append(("third-delay", third.delay))
+        observed.append(("third-value", third._value))
+        yield third
+
+    env.process(sleeper(env), name="sleeper")
+    env.run()
+    assert observed == [
+        ("first-value", "one"),
+        ("second-is-first", False),
+        ("third-is-first", True),
+        ("third-delay", 3.0),
+        ("third-value", "three"),
+    ]
+    assert env.now == 6.0
+
+
+def test_sleep_negative_delay_rejected_even_from_pool():
+    env = Environment()
+
+    def sleeper(env):
+        yield env.sleep(1.0)
+
+    env.process(sleeper(env), name="sleeper")
+    env.run()
+    with pytest.raises(SimulationError):
+        env.sleep(-0.5)
+
+
+def test_interrupt_does_not_leak_callbacks_on_abandoned_event():
+    env = Environment()
+    gate = Event(env)  # never triggered
+
+    def waiter(env):
+        while True:
+            try:
+                yield gate
+            except Interrupt:
+                continue
+
+    proc = env.process(waiter(env), name="waiter")
+    env.run(until=1.0)
+    for _ in range(25):
+        proc.interrupt("again")
+        env.run(until=env.now + 1.0)
+    # Each interrupt must unregister the stale wait before the process
+    # re-registers: exactly one live callback, no leaked stale entries.
+    assert len(gate.callbacks) == 1
+
+
+def test_interrupting_non_latest_waiter_still_unregisters():
+    env = Environment()
+    gate = Event(env)
+    woken = []
+
+    def waiter(env, name):
+        try:
+            value = yield gate
+            woken.append((name, value))
+        except Interrupt:
+            woken.append((name, "interrupted"))
+
+    first = env.process(waiter(env, "first"), name="first")
+    env.process(waiter(env, "second"), name="second")
+    env.run(until=1.0)
+    # `first` registered before `second`, so its callback is not the tail:
+    # removal takes the slow path; `second` then pops from the tail.
+    first.interrupt()
+    env.run(until=2.0)
+    gate.succeed("go")
+    env.run()
+    assert woken == [("first", "interrupted"), ("second", "go")]
+
+
+def test_call_in_fires_in_time_then_fifo_order():
+    env = Environment()
+    out = []
+    env.call_in(5.0, out.append, "b")
+    env.call_in(1.0, out.append, "a")
+    env.call_in(5.0, out.append, "c")
+    env.run()
+    assert out == ["a", "b", "c"]
+    assert env.now == 5.0
+
+
+def test_call_in_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.call_in(-1.0, lambda _arg: None)
+
+
+def test_store_consumer_receives_items_one_at_a_time():
+    env = Environment()
+    store = Store(env, name="inbox")
+    seen = []
+
+    def consumer(item):
+        # The next buffered item is only scheduled after this returns:
+        # at most one delivery in flight, like the pump it replaces.
+        seen.append((env.now, item, len(store)))
+
+    store.consume(consumer)
+    store.put("x")
+    store.put("y")  # buffered: "x" is already in flight
+    assert len(store) == 1
+    env.run()
+    assert [item for _t, item, _n in seen] == ["x", "y"]
+    assert len(store) == 0
+
+
+def test_store_consume_rejects_pending_state():
+    env = Environment()
+    store = Store(env)
+    store.put("stale")
+    with pytest.raises(SimulationError):
+        store.consume(lambda item: None)
+
+
+def test_store_consumer_close_discards_buffered_items():
+    env = Environment()
+    store = Store(env)
+    seen = []
+    store.consume(seen.append)
+    store.put("in-flight")
+    store.put("buffered-1")
+    store.put("buffered-2")
+    store.close()
+    env.run()
+    # The already-scheduled delivery still arrives (a pump one step behind
+    # would have seen it too); the buffered backlog dies with the store.
+    assert seen == ["in-flight"]
+    store.reopen()
+    store.put("after-restart")
+    env.run()
+    assert seen == ["in-flight", "after-restart"]
