@@ -31,3 +31,22 @@ def save_json(name: str, payload) -> str:
 def once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_scenarios(benchmark, scenarios, jobs=1):
+    """Execute scenario cells through the runner with the shared cache.
+
+    Returns ``{scenario digest: payload}``. Uses the same on-disk
+    content-addressed cache as ``python -m repro experiments`` (keyed by
+    scenario + source-tree digest), so a cell already computed by the
+    CLI — or by a previous benchmark run on unchanged code — is served
+    from disk instead of re-simulated.
+    """
+    from repro.runner import ResultCache, execute
+
+    def go():
+        report = execute(scenarios, jobs=jobs, cache=ResultCache())
+        report.raise_on_failure()
+        return report.results
+
+    return once(benchmark, go)

@@ -4,33 +4,48 @@ A California-heavy workload (two CA clients, one FR client) measured with
 the level-2 broker in each region: placing the hub where the traffic is
 minimizes the remote-serialization WAN cost ("changing the primary site
 assignment for coordination metadata").
+
+Runs through ``repro.runner``: same scenarios as the ``ablations`` CLI
+suite, shared via the content-addressed cache.
 """
 
-from repro.experiments.ablations import run_ablation_hub_placement
 from repro.experiments.common import format_table
+from repro.runner import Scenario
 
-from _helpers import once, save_table
+from _helpers import run_scenarios, save_table
+
+SITES = ("virginia", "california", "frankfurt")
+
+
+def _scenario(site):
+    return Scenario.make(
+        "ablation_hub_placement",
+        dict(l2_site=site, seed=42, record_count=200,
+             operations_per_client=1000),
+        suite="ablations",
+        label=f"A5 hub={site}",
+    )
 
 
 def test_ablation_hub_placement(benchmark):
-    cells = once(
-        benchmark,
-        lambda: run_ablation_hub_placement(
-            record_count=200, operations_per_client=1000
-        ),
-    )
+    grid = [(site, _scenario(site)) for site in SITES]
+    results = run_scenarios(benchmark, [s for _, s in grid])
+    cells = [results[s.digest()] for _, s in grid]
 
     save_table(
         "ablation_hub_placement",
         format_table(
             ["l2 site", "total ops/s", "write mean ms"],
-            [[c.l2_site, c.total_throughput, c.write_mean_ms] for c in cells],
+            [
+                [c["l2_site"], c["total_throughput"], c["write_mean_ms"]]
+                for c in cells
+            ],
             title="A5: hub placement for a California-heavy workload "
             "(2 CA clients + 1 FR client)",
         ),
     )
 
-    by = {c.l2_site: c for c in cells}
+    by = {c["l2_site"]: c for c in cells}
     # The hub belongs where the traffic is.
-    assert by["california"].total_throughput > by["virginia"].total_throughput
-    assert by["california"].total_throughput > by["frankfurt"].total_throughput
+    assert by["california"]["total_throughput"] > by["virginia"]["total_throughput"]
+    assert by["california"]["total_throughput"] > by["frankfurt"]["total_throughput"]

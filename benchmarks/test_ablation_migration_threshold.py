@@ -3,30 +3,41 @@
 The paper identifies r = 2 as a good heuristic. The sweep shows the
 tradeoff: small r migrates eagerly (good locality, more recalls under
 contention); large r degenerates toward hub-pinned tokens.
+
+Runs through ``repro.runner``: same scenarios as the ``ablations`` CLI
+suite, shared via the content-addressed cache.
 """
 
-from repro.experiments.ablations import run_ablation_migration_threshold
 from repro.experiments.common import format_table
+from repro.runner import Scenario
 
-from _helpers import once, save_table
+from _helpers import run_scenarios, save_table
 
 R_VALUES = (1, 2, 4, 8, None)
 
 
-def test_ablation_migration_threshold(benchmark):
-    cells = once(
-        benchmark,
-        lambda: run_ablation_migration_threshold(
-            r_values=R_VALUES, record_count=300, operations_per_client=1500
-        ),
+def _scenario(r):
+    return Scenario.make(
+        "ablation_threshold",
+        dict(r=r, seed=42, record_count=300, operations_per_client=1500,
+             overlap=0.3),
+        suite="ablations",
+        label=f"A1 r={r}",
     )
+
+
+def test_ablation_migration_threshold(benchmark):
+    grid = [(r, _scenario(r)) for r in R_VALUES]
+    results = run_scenarios(benchmark, [s for _, s in grid])
+    cells = [results[s.digest()] for _, s in grid]
 
     save_table(
         "ablation_r",
         format_table(
             ["policy", "total ops/s", "write mean ms", "recalls"],
             [
-                [c.label, c.total_throughput, c.write_mean_ms, c.tokens_recalled]
+                [c["label"], c["total_throughput"], c["write_mean_ms"],
+                 c["tokens_recalled"]]
                 for c in cells
             ],
             title="A1: migration threshold sweep (2 sites, 30% overlap, "
@@ -34,14 +45,17 @@ def test_ablation_migration_threshold(benchmark):
         ),
     )
 
-    by_label = {c.label: c for c in cells}
+    by_label = {c["label"]: c for c in cells}
     # Migrating at all beats never migrating.
-    assert by_label["r=2"].total_throughput > 1.5 * by_label["never"].total_throughput
+    assert (
+        by_label["r=2"]["total_throughput"]
+        > 1.5 * by_label["never"]["total_throughput"]
+    )
     # Large r loses locality: monotone decline from r=2 to r=8 to never.
     assert (
-        by_label["r=2"].total_throughput
-        > by_label["r=8"].total_throughput
-        > 0.9 * by_label["never"].total_throughput
+        by_label["r=2"]["total_throughput"]
+        > by_label["r=8"]["total_throughput"]
+        > 0.9 * by_label["never"]["total_throughput"]
     )
     # Eager migration (r=1) recalls more tokens than r=2 under contention.
-    assert by_label["r=1"].tokens_recalled > by_label["r=2"].tokens_recalled
+    assert by_label["r=1"]["tokens_recalled"] > by_label["r=2"]["tokens_recalled"]

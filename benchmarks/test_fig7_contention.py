@@ -4,33 +4,52 @@ Paper claims: ZooKeeper's throughput is flat in the overlap (no local
 commits to lose); WanKeeper declines smoothly as contention rises, yet at
 100% overlap still clears ZooKeeper-with-observers by ~20% thanks to
 random locality in the access sequences.
+
+Runs through ``repro.runner``: the cells are the same scenarios
+``python -m repro experiments fig7`` executes, so results are shared via
+the content-addressed cache.
 """
 
 from repro.experiments.common import format_table
-from repro.experiments.fig7 import run_fig7
+from repro.runner import Scenario
 
-from _helpers import once, save_table
+from _helpers import run_scenarios, save_table
 
 OVERLAPS = (0.0, 0.5, 1.0)
 SYSTEMS = ("zk", "zk_observer", "wk")
 
 
-def test_fig7_contention_sweep(benchmark):
-    results = once(
-        benchmark,
-        lambda: run_fig7(
-            overlaps=OVERLAPS,
-            systems=SYSTEMS,
+def _scenario(system, overlap):
+    return Scenario.make(
+        "fig7",
+        dict(
+            system=system,
+            overlap=overlap,
+            seed=42,
             record_count=400,
             operations_per_client=2500,
         ),
+        suite="fig7",
+        label=f"{system}@{overlap:.0%}",
     )
 
+
+def test_fig7_contention_sweep(benchmark):
+    grid = {
+        (system, overlap): _scenario(system, overlap)
+        for system in SYSTEMS
+        for overlap in OVERLAPS
+    }
+    results = run_scenarios(benchmark, list(grid.values()))
+    cells = {
+        key: results[scenario.digest()] for key, scenario in grid.items()
+    }
+
     rows = []
-    for index, overlap in enumerate(OVERLAPS):
+    for overlap in OVERLAPS:
         row = [f"{overlap:.0%}"]
         for system in SYSTEMS:
-            row.append(results[system][index].total_throughput)
+            row.append(cells[(system, overlap)]["total_throughput"])
         rows.append(row)
     save_table(
         "fig7",
@@ -41,9 +60,9 @@ def test_fig7_contention_sweep(benchmark):
         ),
     )
 
-    zk = [cell.total_throughput for cell in results["zk"]]
-    zko = [cell.total_throughput for cell in results["zk_observer"]]
-    wk = [cell.total_throughput for cell in results["wk"]]
+    zk = [cells[("zk", o)]["total_throughput"] for o in OVERLAPS]
+    zko = [cells[("zk_observer", o)]["total_throughput"] for o in OVERLAPS]
+    wk = [cells[("wk", o)]["total_throughput"] for o in OVERLAPS]
     # ZooKeeper flat in overlap (within 15%).
     assert max(zk) < 1.15 * min(zk)
     assert max(zko) < 1.15 * min(zko)

@@ -33,6 +33,8 @@ from typing import Any, Dict, List, Optional
 __all__ = [
     "BENCH_FILE",
     "CHECK_TOLERANCE",
+    "EXPERIMENTS_BENCH_FILE",
+    "bench_experiments",
     "bench_kernel",
     "bench_transport",
     "bench_ycsb",
@@ -42,6 +44,7 @@ __all__ = [
 ]
 
 BENCH_FILE = "BENCH_kernel.json"
+EXPERIMENTS_BENCH_FILE = "BENCH_experiments.json"
 
 # --check fails when normalized events/sec fall more than this fraction
 # below the committed baseline.
@@ -166,6 +169,112 @@ def bench_ycsb(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
         "events_per_sec": world.env._seq / wall,
         "messages": world.net.messages_sent,
     }
+
+
+# -- experiment-suite runner benchmark ----------------------------------------
+
+
+def bench_experiments(
+    quick: bool = False,
+    seed: int = 42,
+    jobs: Optional[int] = None,
+    suites: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """Wall-clock comparison of the scenario runner's three modes.
+
+    Runs the full figure/ablation scenario set three ways — serial
+    in-process (the determinism reference), parallel cold-cache, and
+    parallel warm-cache — verifies all three produce identical payloads
+    *and* identical rendered tables, and reports the wall-clock numbers
+    that ``BENCH_experiments.json`` commits.
+    """
+    import shutil
+    import tempfile
+
+    from repro.runner import ResultCache, build_suite, code_digest, execute, render_suite
+    from repro.runner.suites import DEFAULT_SUITE_NAMES
+
+    names = list(suites or DEFAULT_SUITE_NAMES)
+    jobs = jobs or (os.cpu_count() or 1)
+    scenarios = []
+    for name in names:
+        scenarios += build_suite(name, quick, seed)
+
+    def tables(results: Dict[str, Any]) -> str:
+        return "\n".join(render_suite(n, quick, seed, results) for n in names)
+
+    serial = execute(scenarios, jobs=1)
+    serial.raise_on_failure()
+
+    cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cold = execute(
+            scenarios, jobs=jobs, cache=ResultCache(cache_root), timeout_s=3600
+        )
+        cold.raise_on_failure()
+        warm = execute(
+            scenarios, jobs=jobs, cache=ResultCache(cache_root), timeout_s=3600
+        )
+        warm.raise_on_failure()
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    identical = (
+        serial.results == cold.results == warm.results
+        and tables(serial.results) == tables(cold.results)
+    )
+    if not identical:
+        raise AssertionError(
+            "serial, parallel, and cache-warm runs disagree — the runner's "
+            "determinism contract is broken"
+        )
+    return {
+        "quick": quick,
+        "seed": seed,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "suites": names,
+        "cells": len(serial.results),
+        "serial_wall_s": round(serial.wall_s, 3),
+        "parallel_cold_wall_s": round(cold.wall_s, 3),
+        "parallel_warm_wall_s": round(warm.wall_s, 3),
+        "parallel_speedup": (
+            round(serial.wall_s / cold.wall_s, 3) if cold.wall_s else None
+        ),
+        "warm_fraction_of_cold": (
+            round(warm.wall_s / cold.wall_s, 4) if cold.wall_s else None
+        ),
+        "warm_cache_hits": warm.cache_hits,
+        "results_identical": identical,
+        "code_digest": code_digest(),
+    }
+
+
+def _format_experiments(results: Dict[str, Any]) -> str:
+    from repro.experiments.common import format_table
+
+    rows = [
+        ["serial (jobs=1)", f"{results['serial_wall_s']:.1f}", "1.00x"],
+        [
+            f"parallel cold (jobs={results['jobs']})",
+            f"{results['parallel_cold_wall_s']:.1f}",
+            f"{results['parallel_speedup']:.2f}x",
+        ],
+        [
+            f"parallel warm (jobs={results['jobs']})",
+            f"{results['parallel_warm_wall_s']:.1f}",
+            f"{results['warm_fraction_of_cold']:.1%} of cold",
+        ],
+    ]
+    suffix = " (quick)" if results.get("quick") else ""
+    return format_table(
+        ["mode", "wall s", "vs serial"],
+        rows,
+        title=(
+            f"Experiment suite runner{suffix}: {results['cells']} cells, "
+            f"{results['cpu_count']} CPU(s)"
+        ),
+    )
 
 
 # -- hardware normalization ---------------------------------------------------
@@ -296,6 +405,20 @@ def main(argv=None) -> int:
         "--quick", action="store_true", help="reduced sizes (CI smoke run)"
     )
     parser.add_argument(
+        "--experiments",
+        action="store_true",
+        help=(
+            "benchmark the experiment-suite runner (serial vs parallel vs "
+            f"cache-warm) and write {EXPERIMENTS_BENCH_FILE} instead"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes for --experiments (0 = one per CPU)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="print results as JSON"
     )
     parser.add_argument(
@@ -313,6 +436,27 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=42)
     args = parser.parse_args(argv)
+
+    if args.experiments:
+        results = bench_experiments(
+            quick=args.quick, seed=args.seed, jobs=args.jobs or None
+        )
+        out = args.out if args.out != BENCH_FILE else EXPERIMENTS_BENCH_FILE
+        existing = _load_bench_file(out) or {}
+        payload = {"schema": "bench_experiments/v1"}
+        payload["quick" if args.quick else "full"] = results
+        for key in ("quick", "full"):
+            if key not in payload and key in existing:
+                payload[key] = existing[key]
+        with open(out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        if args.json:
+            print(json.dumps(results, indent=2))
+        else:
+            print(_format_experiments(results))
+            print(f"wrote {out}")
+        return 0
 
     results = run_suite(quick=args.quick, seed=args.seed)
 

@@ -3,253 +3,221 @@
 Regenerates any of the paper's figures (or the ablations) from the shell
 and prints the result tables. ``--small`` runs a reduced configuration for
 a quick look; the full-size runs match the benchmark suite.
+
+Subcommands:
+
+* ``python -m repro <experiment>`` — legacy serial path (kept stable).
+* ``python -m repro experiments [names|--all] --jobs N`` — the parallel
+  scenario runner with content-addressed result caching; result tables
+  go to stdout (byte-identical for any ``--jobs``), progress/timing to
+  stderr.
+* ``python -m repro cache stats|clear`` — inspect or empty the cache.
+* ``python -m repro bench`` — simulator-throughput benchmarks.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
-from repro.experiments.common import format_table
-
-__all__ = ["main"]
+__all__ = ["EXPERIMENTS", "main"]
 
 
-def _fig4(small: bool, seed: int) -> str:
-    from repro.experiments.fig4 import run_fig4
+def _run_suite_serial(name: str, small: bool, seed: int) -> str:
+    """Legacy single-experiment path: in-process, uncached, serial."""
+    from repro.runner import build_suite, execute, render_suite
 
-    ops = 2000 if small else 10000
-    records = 300 if small else 1000
-    fractions = (0.0, 0.05, 0.25, 0.5)
-    results = run_fig4(
-        write_fractions=fractions,
-        seed=seed,
-        record_count=records,
-        operation_count=ops,
-    )
-    systems = list(results)
-    rows = []
-    for index, fraction in enumerate(fractions):
-        rows.append(
-            [f"{fraction:.0%}"]
-            + [results[system][index].throughput for system in systems]
-        )
-    latency_rows = []
-    for index, fraction in enumerate(fractions):
-        for system in systems:
-            cell = results[system][index]
-            latency_rows.append(
-                [f"{fraction:.0%}", system, cell.read_mean_ms or 0.0,
-                 cell.write_mean_ms or 0.0]
-            )
-    return (
-        format_table(["write%"] + systems, rows,
-                     title="Fig 4a: throughput (ops/sec)")
-        + "\n\n"
-        + format_table(
-            ["write%", "system", "read ms", "write ms"],
-            latency_rows,
-            title="Fig 4b: mean latency",
-        )
-    )
+    scenarios = build_suite(name, small, seed)
+    report = execute(scenarios, jobs=1)
+    report.raise_on_failure()
+    return render_suite(name, small, seed, report.results)
 
 
-def _fig5(small: bool, seed: int) -> str:
-    from repro.experiments.fig5 import run_fig5
+def _legacy_runner(name: str) -> Callable[[bool, int], str]:
+    def run(small: bool, seed: int) -> str:
+        return _run_suite_serial(name, small, seed)
 
-    results = run_fig5(
-        seed=seed,
-        record_count=200 if small else 600,
-        operation_count=1500 if small else 5000,
-    )
-    rows = [
-        [
-            system,
-            f"{fraction:.0%}",
-            result.local_fraction,
-            result.recorder.percentile_latency(50, "write"),
-            result.recorder.percentile_latency(90, "write"),
-        ]
-        for (system, fraction), result in sorted(results.items())
-    ]
-    return format_table(
-        ["system", "write%", "local frac", "p50 ms", "p90 ms"],
-        rows,
-        title="Fig 5: write-latency CDF summary",
-    )
+    return run
 
 
-def _fig6(small: bool, seed: int) -> str:
-    from repro.experiments.fig6 import run_fig6
-
-    results = run_fig6(
-        seed=seed,
-        record_count=300 if small else 1000,
-        operations_per_client=1200 if small else 4000,
-    )
-    rows = [
-        [
-            setup,
-            result.total_throughput,
-            result.per_site_throughput["california"],
-            result.per_site_throughput["frankfurt"],
-            result.write_mean_ms,
-        ]
-        for setup, result in results.items()
-    ]
-    return format_table(
-        ["setup", "total ops/s", "CA", "FR", "write ms"],
-        rows,
-        title="Fig 6: two-site throughput, disjoint access",
-    )
-
-
-def _fig7(small: bool, seed: int) -> str:
-    from repro.experiments.fig7 import run_fig7
-
-    overlaps = (0.0, 0.5, 1.0)
-    results = run_fig7(
-        overlaps=overlaps,
-        seed=seed,
-        record_count=200 if small else 400,
-        operations_per_client=800 if small else 2500,
-    )
-    systems = list(results)
-    rows = [
-        [f"{overlap:.0%}"]
-        + [results[system][index].total_throughput for system in systems]
-        for index, overlap in enumerate(overlaps)
-    ]
-    return format_table(
-        ["overlap"] + systems, rows, title="Fig 7: contention sweep"
-    )
-
-
-def _fig8(small: bool, seed: int) -> str:
-    from repro.experiments.fig8 import run_fig8
-
-    durations = (200.0, 400.0, 1600.0)
-    results = run_fig8(
-        write_durations_ms=durations,
-        seed=seed,
-        total_duration_ms=10000.0 if small else 25000.0,
-    )
-    systems = list(results)
-    rows = [
-        [f"{duration/1000:.1f}s"]
-        + [results[system][index].entries_per_sec for system in systems]
-        for index, duration in enumerate(durations)
-    ]
-    return format_table(
-        ["duration"] + systems, rows, title="Fig 8b: BookKeeper entries/sec"
-    )
-
-
-def _fig10(small: bool, seed: int) -> str:
-    from repro.experiments.fig10 import run_fig10a, run_fig10b
-
-    overlaps = (0.1, 0.5, 0.8)
-    kwargs = dict(
-        overlaps=overlaps,
-        seed=seed,
-        record_count=200 if small else 400,
-        operations_per_client=800 if small else 2500,
-    )
-    parts = []
-    for title, run in (
-        ("Fig 10a: SCFS, no hotspot", run_fig10a),
-        ("Fig 10b: SCFS, 20% hotspot per site", run_fig10b),
-    ):
-        results = run(**kwargs)
-        rows = []
-        for index, overlap in enumerate(overlaps):
-            for system in results:
-                cell = results[system][index]
-                rows.append(
-                    [f"{overlap:.0%}", system, cell.total_throughput]
-                )
-        parts.append(
-            format_table(["overlap", "system", "ops/s"], rows, title=title)
-        )
-    return "\n\n".join(parts)
-
-
-def _ablations(small: bool, seed: int) -> str:
-    from repro.experiments.ablations import (
-        run_ablation_bulk_tokens,
-        run_ablation_migration_threshold,
-        run_ablation_prediction,
-        run_ablation_read_modes,
-    )
-
-    parts = []
-    cells = run_ablation_migration_threshold(
-        seed=seed,
-        record_count=150 if small else 300,
-        operations_per_client=600 if small else 1500,
-    )
-    parts.append(
-        format_table(
-            ["policy", "ops/s", "write ms", "recalls"],
-            [[c.label, c.total_throughput, c.write_mean_ms, c.tokens_recalled]
-             for c in cells],
-            title="A1: migration threshold r",
-        )
-    )
-    cells = run_ablation_prediction(seed=seed)
-    parts.append(
-        format_table(
-            ["policy", "ops/s", "write ms"],
-            [[c.policy, c.total_throughput, c.write_mean_ms] for c in cells],
-            title="A2: Markov prediction",
-        )
-    )
-    cells = run_ablation_bulk_tokens(seed=seed, rounds=15 if small else 25)
-    parts.append(
-        format_table(
-            ["policy", "acquisitions/s"],
-            [[c.label, c.acquisitions_per_sec] for c in cells],
-            title="A3: bulk sequential-znode tokens",
-        )
-    )
-    cells = run_ablation_read_modes(
-        seed=seed, operations_per_client=500 if small else 1500
-    )
-    parts.append(
-        format_table(
-            ["read mode", "read ms", "ops/s"],
-            [[c.mode, c.read_mean_ms, c.total_throughput] for c in cells],
-            title="A4: fractional read/write tokens",
-        )
-    )
-    from repro.experiments.ablations import run_ablation_hub_placement
-
-    cells = run_ablation_hub_placement(
-        seed=seed,
-        record_count=100 if small else 200,
-        operations_per_client=400 if small else 1000,
-    )
-    parts.append(
-        format_table(
-            ["l2 site", "ops/s", "write ms"],
-            [[c.l2_site, c.total_throughput, c.write_mean_ms] for c in cells],
-            title="A5: hub placement (CA-heavy workload)",
-        )
-    )
-    return "\n\n".join(parts)
-
-
+#: Legacy registry: experiment name -> ``fn(small, seed) -> table text``.
+#: (The ``soak`` suite is reachable via ``experiments soak`` only.)
 EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
-    "fig4": _fig4,
-    "fig5": _fig5,
-    "fig6": _fig6,
-    "fig7": _fig7,
-    "fig8": _fig8,
-    "fig10": _fig10,
-    "ablations": _ablations,
+    name: _legacy_runner(name)
+    for name in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig10", "ablations")
 }
+
+
+# -- `experiments` subcommand -------------------------------------------------
+
+
+def _experiments_main(argv: List[str]) -> int:
+    from repro.runner import (
+        ResultCache,
+        SUITES,
+        build_suite,
+        default_cache_dir,
+        execute,
+        render_suite,
+    )
+    from repro.runner.suites import DEFAULT_SUITE_NAMES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro experiments",
+        description=(
+            "Run evaluation suites through the parallel scenario runner. "
+            "Tables print to stdout and are byte-identical for any --jobs; "
+            "progress, timing, and cache accounting go to stderr."
+        ),
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="experiment",
+        help=f"suites to run (available: {', '.join(sorted(SUITES))})",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="run the full figure/ablation set "
+        f"({', '.join(DEFAULT_SUITE_NAMES)})",
+    )
+    parser.add_argument(
+        "--small", action="store_true", help="reduced size for a quick look"
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = in-process serial; 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=1800.0,
+        metavar="SECONDS",
+        help="per-cell wall-clock timeout in worker mode (default 1800)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"result cache directory (default {default_cache_dir()!r})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always recompute; neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="per-cell progress on stderr"
+    )
+    args = parser.parse_args(argv)
+
+    names = list(args.names)
+    if args.all:
+        names += [n for n in DEFAULT_SUITE_NAMES if n not in names]
+    if not names:
+        parser.error("name at least one experiment or pass --all")
+    unknown = [name for name in names if name not in SUITES]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {', '.join(unknown)} "
+            f"(available: {', '.join(sorted(SUITES))})"
+        )
+
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+
+    scenarios = []
+    for name in names:
+        scenarios += build_suite(name, args.small, args.seed)
+
+    progress = None
+    if args.verbose:
+        progress = lambda message: print(message, file=sys.stderr)
+
+    started = time.time()
+    report = execute(
+        scenarios,
+        jobs=jobs,
+        cache=cache,
+        timeout_s=args.timeout,
+        progress=progress,
+    )
+
+    # Tables always print, in request order, for every cell that has a
+    # result — even when other cells failed.
+    for name in names:
+        try:
+            table = render_suite(name, args.small, args.seed, report.results)
+        except KeyError:
+            print(
+                f"[{name}] skipped: missing cell results (see failures)",
+                file=sys.stderr,
+            )
+            continue
+        print(f"== {name} (seed {args.seed}"
+              f"{', small' if args.small else ''}) ==")
+        print(table)
+        print()
+
+    print(
+        f"[experiments] {report.summary()}, total {time.time() - started:.1f}s",
+        file=sys.stderr,
+    )
+    if cache is not None:
+        print(
+            f"[cache] {cache.hits} hits, {cache.misses} misses ({cache.root})",
+            file=sys.stderr,
+        )
+    if report.failures:
+        for failure in report.failures:
+            print(f"FAIL {failure.describe()}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# -- `cache` subcommand -------------------------------------------------------
+
+
+def _cache_main(argv: List[str]) -> int:
+    from repro.runner import ResultCache, default_cache_dir
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="Inspect or clear the scenario result cache.",
+    )
+    parser.add_argument("action", choices=("stats", "clear"))
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"cache directory (default {default_cache_dir()!r})",
+    )
+    args = parser.parse_args(argv)
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache dir: {stats['root']}")
+        print(f"entries:   {stats['entries']}")
+        print(f"bytes:     {stats['bytes']}")
+        print(
+            f"current:   {stats['current_code_entries']} "
+            "(match the live code digest)"
+        )
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cache entries from {cache.root}")
+    return 0
+
+
+# -- entry point --------------------------------------------------------------
 
 
 def main(argv=None) -> int:
@@ -262,10 +230,15 @@ def main(argv=None) -> int:
         from repro.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "experiments":
+        return _experiments_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the WanKeeper paper's evaluation figures "
-        "('bench' runs the simulator throughput benchmarks).",
+        "('experiments' runs them in parallel with result caching; "
+        "'bench' runs the simulator throughput benchmarks).",
     )
     parser.add_argument(
         "experiment",

@@ -32,6 +32,11 @@ __all__ = [
     "run_ablation_migration_threshold",
     "run_ablation_prediction",
     "run_ablation_read_modes",
+    "run_bulk_token_cell",
+    "run_hub_placement_cell",
+    "run_prediction_cell",
+    "run_read_mode_cell",
+    "run_threshold_cell",
 ]
 
 
@@ -46,6 +51,54 @@ class ThresholdCell:
     tokens_recalled: int
 
 
+def run_threshold_cell(
+    r: Optional[int],
+    seed: int = 42,
+    record_count: int = 300,
+    operations_per_client: int = 1500,
+    overlap: float = 0.3,
+) -> ThresholdCell:
+    """One cell of A1: two contending sites at threshold ``r`` (None = never)."""
+    if r is None:
+        factory = NeverMigratePolicy
+        label = "never"
+    else:
+        def factory(r=r):
+            return ConsecutiveAccessPolicy(r=r)
+
+        label = f"r={r}"
+    world = build_world("wk", seed=seed, policy_factory=factory)
+    spec = YcsbSpec(
+        record_count=record_count,
+        operation_count=operations_per_client,
+        write_fraction=1.0,
+    )
+    recorders = {}
+    plans = []
+    for index, site in enumerate((CALIFORNIA, FRANKFURT)):
+        recorder = LatencyRecorder(f"A1-{label}-{site}")
+        recorders[site] = recorder
+        plans.append(
+            ClientPlan(
+                world.client(site),
+                world.rngs.stream(f"a1-{site}"),
+                recorder,
+                chooser=OverlapChooser(record_count, overlap, index),
+            )
+        )
+    run_ycsb(world.env, plans, spec, load_client=world.client(VIRGINIA))
+    merged = recorders[CALIFORNIA].merged(recorders[FRANKFURT])
+    hub = world.deployment.hub_leader
+    return ThresholdCell(
+        label=label,
+        total_throughput=sum(
+            r.throughput_ops_per_sec() for r in recorders.values()
+        ),
+        write_mean_ms=merged.mean_latency("write"),
+        tokens_recalled=hub.tokens_recalled if hub else 0,
+    )
+
+
 def run_ablation_migration_threshold(
     r_values: Sequence[Optional[int]] = (1, 2, 4, 8, None),
     seed: int = 42,
@@ -54,49 +107,16 @@ def run_ablation_migration_threshold(
     overlap: float = 0.3,
 ) -> List[ThresholdCell]:
     """Two contending sites, 100% writes, varying ``r`` (None = never)."""
-    results = []
-    for r in r_values:
-        if r is None:
-            factory = NeverMigratePolicy
-            label = "never"
-        else:
-            def factory(r=r):
-                return ConsecutiveAccessPolicy(r=r)
-
-            label = f"r={r}"
-        world = build_world("wk", seed=seed, policy_factory=factory)
-        spec = YcsbSpec(
+    return [
+        run_threshold_cell(
+            r,
+            seed=seed,
             record_count=record_count,
-            operation_count=operations_per_client,
-            write_fraction=1.0,
+            operations_per_client=operations_per_client,
+            overlap=overlap,
         )
-        recorders = {}
-        plans = []
-        for index, site in enumerate((CALIFORNIA, FRANKFURT)):
-            recorder = LatencyRecorder(f"A1-{label}-{site}")
-            recorders[site] = recorder
-            plans.append(
-                ClientPlan(
-                    world.client(site),
-                    world.rngs.stream(f"a1-{site}"),
-                    recorder,
-                    chooser=OverlapChooser(record_count, overlap, index),
-                )
-            )
-        run_ycsb(world.env, plans, spec, load_client=world.client(VIRGINIA))
-        merged = recorders[CALIFORNIA].merged(recorders[FRANKFURT])
-        hub = world.deployment.hub_leader
-        results.append(
-            ThresholdCell(
-                label=label,
-                total_throughput=sum(
-                    r.throughput_ops_per_sec() for r in recorders.values()
-                ),
-                write_mean_ms=merged.mean_latency("write"),
-                tokens_recalled=hub.tokens_recalled if hub else 0,
-            )
-        )
-    return results
+        for r in r_values
+    ]
 
 
 # ---------------------------------------------------------- A2: Markov model
@@ -126,6 +146,62 @@ def _phase_shifting_client(world, client, spec, rng, recorder, phase_len, phases
     return body()
 
 
+#: A2 policy labels -> factory, in presentation order.
+PREDICTION_POLICIES = {
+    "consecutive(r=2)": lambda: ConsecutiveAccessPolicy(r=2),
+    "markov(r=2,t=0.6)": lambda: MarkovPolicy(r=2, threshold=0.6),
+}
+
+
+def run_prediction_cell(
+    policy: str,
+    seed: int = 42,
+    record_count: int = 8,
+    phase_len: int = 32,
+    phases: int = 6,
+) -> PredictionCell:
+    """One cell of A2: the phase-shifting workload under one policy."""
+    factory = PREDICTION_POLICIES[policy]
+    world = build_world("wk", seed=seed, policy_factory=factory)
+    env = world.env
+    spec = YcsbSpec(
+        record_count=record_count, operation_count=0, write_fraction=1.0
+    )
+    recorder = LatencyRecorder(f"A2-{policy}")
+
+    def orchestrate():
+        loader = world.client(VIRGINIA)
+        yield loader.connect()
+        from repro.workloads.driver import load_records
+
+        yield env.process(load_records(loader, spec))
+        yield env.timeout(500.0)
+        ca = world.client(CALIFORNIA)
+        fr = world.client(FRANKFURT)
+        rng_ca = world.rngs.stream("a2-ca")
+        rng_fr = world.rngs.stream("a2-fr")
+        # Phases strictly alternate between the sites.
+        for phase in range(phases):
+            client = ca if phase % 2 == 0 else fr
+            rng = rng_ca if phase % 2 == 0 else rng_fr
+            yield env.process(
+                _phase_shifting_client(
+                    world, client, spec, rng, recorder, phase_len, 1
+                )
+            )
+
+    process = env.process(orchestrate())
+    while not process.triggered:
+        env.run(until=env.now + 5000.0)
+    if not process.ok:
+        raise process.exception
+    return PredictionCell(
+        policy=policy,
+        total_throughput=recorder.throughput_ops_per_sec(),
+        write_mean_ms=recorder.mean_latency("write"),
+    )
+
+
 def run_ablation_prediction(
     seed: int = 42,
     record_count: int = 8,
@@ -138,53 +214,16 @@ def run_ablation_prediction(
     site keeps touching it through the phase — and migrates on the first
     access of each phase instead of the second.
     """
-    results = []
-    policies = [
-        ("consecutive(r=2)", lambda: ConsecutiveAccessPolicy(r=2)),
-        ("markov(r=2,t=0.6)", lambda: MarkovPolicy(r=2, threshold=0.6)),
+    return [
+        run_prediction_cell(
+            policy,
+            seed=seed,
+            record_count=record_count,
+            phase_len=phase_len,
+            phases=phases,
+        )
+        for policy in PREDICTION_POLICIES
     ]
-    for label, factory in policies:
-        world = build_world("wk", seed=seed, policy_factory=factory)
-        env = world.env
-        spec = YcsbSpec(
-            record_count=record_count, operation_count=0, write_fraction=1.0
-        )
-        recorder = LatencyRecorder(f"A2-{label}")
-
-        def orchestrate():
-            loader = world.client(VIRGINIA)
-            yield loader.connect()
-            from repro.workloads.driver import load_records
-
-            yield env.process(load_records(loader, spec))
-            yield env.timeout(500.0)
-            ca = world.client(CALIFORNIA)
-            fr = world.client(FRANKFURT)
-            rng_ca = world.rngs.stream("a2-ca")
-            rng_fr = world.rngs.stream("a2-fr")
-            # Phases strictly alternate between the sites.
-            for phase in range(phases):
-                client = ca if phase % 2 == 0 else fr
-                rng = rng_ca if phase % 2 == 0 else rng_fr
-                yield env.process(
-                    _phase_shifting_client(
-                        world, client, spec, rng, recorder, phase_len, 1
-                    )
-                )
-
-        process = env.process(orchestrate())
-        while not process.triggered:
-            env.run(until=env.now + 5000.0)
-        if not process.ok:
-            raise process.exception
-        results.append(
-            PredictionCell(
-                policy=label,
-                total_throughput=recorder.throughput_ops_per_sec(),
-                write_mean_ms=recorder.mean_latency("write"),
-            )
-        )
-    return results
 
 
 # --------------------------------------------------------- A3: bulk tokens
@@ -194,6 +233,55 @@ def run_ablation_prediction(
 class BulkTokenCell:
     label: str
     acquisitions_per_sec: float
+
+
+#: A3 policy labels -> factory, in presentation order.
+BULK_TOKEN_POLICIES = {
+    "bulk-migrating": ConsecutiveAccessPolicy,
+    "pinned-at-hub": NeverMigratePolicy,
+}
+
+
+def run_bulk_token_cell(
+    policy: str,
+    seed: int = 42,
+    rounds: int = 30,
+) -> BulkTokenCell:
+    """One cell of A3: fair-lock rounds under one migration policy."""
+    factory = BULK_TOKEN_POLICIES[policy]
+    world = build_world("wk", seed=seed, policy_factory=factory)
+    env = world.env
+    count = {"rounds": 0}
+
+    def contender(client, lock):
+        yield client.connect()
+        for _ in range(rounds):
+            yield from lock.acquire()
+            count["rounds"] += 1
+            yield env.timeout(1.0)  # tiny critical section
+            yield from lock.release()
+
+    def orchestrate():
+        start = env.now
+        procs = []
+        for index in range(2):
+            client = world.client(CALIFORNIA, request_timeout_ms=30000.0)
+            lock = FairLock(env, client, "/biglock")
+            procs.append(env.process(contender(client, lock)))
+        for proc in procs:
+            yield proc
+        return env.now - start
+
+    process = env.process(orchestrate())
+    while not process.triggered:
+        env.run(until=env.now + 5000.0)
+    if not process.ok:
+        raise process.exception
+    elapsed_ms = process.value
+    return BulkTokenCell(
+        label=policy,
+        acquisitions_per_sec=count["rounds"] / (elapsed_ms / 1000.0),
+    )
 
 
 def run_ablation_bulk_tokens(
@@ -206,47 +294,10 @@ def run_ablation_bulk_tokens(
     every acquire/release round is site-local; pinned at the hub
     (NeverMigrate), every round pays WAN trips.
     """
-    results = []
-    for label, factory in (
-        ("bulk-migrating", ConsecutiveAccessPolicy),
-        ("pinned-at-hub", NeverMigratePolicy),
-    ):
-        world = build_world("wk", seed=seed, policy_factory=factory)
-        env = world.env
-        count = {"rounds": 0}
-
-        def contender(client, lock):
-            yield client.connect()
-            for _ in range(rounds):
-                yield from lock.acquire()
-                count["rounds"] += 1
-                yield env.timeout(1.0)  # tiny critical section
-                yield from lock.release()
-
-        def orchestrate():
-            start = env.now
-            procs = []
-            for index in range(2):
-                client = world.client(CALIFORNIA, request_timeout_ms=30000.0)
-                lock = FairLock(env, client, "/biglock")
-                procs.append(env.process(contender(client, lock)))
-            for proc in procs:
-                yield proc
-            return env.now - start
-
-        process = env.process(orchestrate())
-        while not process.triggered:
-            env.run(until=env.now + 5000.0)
-        if not process.ok:
-            raise process.exception
-        elapsed_ms = process.value
-        results.append(
-            BulkTokenCell(
-                label=label,
-                acquisitions_per_sec=count["rounds"] / (elapsed_ms / 1000.0),
-            )
-        )
-    return results
+    return [
+        run_bulk_token_cell(policy, seed=seed, rounds=rounds)
+        for policy in BULK_TOKEN_POLICIES
+    ]
 
 
 # --------------------------------------------------------- A4: read modes
@@ -259,6 +310,44 @@ class ReadModeCell:
     total_throughput: float
 
 
+def run_read_mode_cell(
+    mode: str,
+    seed: int = 42,
+    record_count: int = 100,
+    operations_per_client: int = 1000,
+    write_fraction: float = 0.05,
+) -> ReadModeCell:
+    """One cell of A4: the cross-site workload under one read mode."""
+    world = build_world("wk", seed=seed, read_mode=mode)
+    spec = YcsbSpec(
+        record_count=record_count,
+        operation_count=operations_per_client,
+        write_fraction=write_fraction,
+    )
+    recorders = {}
+    plans = []
+    for index, site in enumerate((CALIFORNIA, FRANKFURT)):
+        recorder = LatencyRecorder(f"A4-{mode}-{site}")
+        recorders[site] = recorder
+        plans.append(
+            ClientPlan(
+                world.client(site),
+                world.rngs.stream(f"a4-{site}"),
+                recorder,
+                chooser=UniformChooser(record_count),
+            )
+        )
+    run_ycsb(world.env, plans, spec, load_client=world.client(VIRGINIA))
+    merged = recorders[CALIFORNIA].merged(recorders[FRANKFURT])
+    return ReadModeCell(
+        mode=mode,
+        read_mean_ms=merged.mean_latency("read"),
+        total_throughput=sum(
+            r.throughput_ops_per_sec() for r in recorders.values()
+        ),
+    )
+
+
 def run_ablation_read_modes(
     seed: int = 42,
     record_count: int = 100,
@@ -266,39 +355,16 @@ def run_ablation_read_modes(
     write_fraction: float = 0.05,
 ) -> List[ReadModeCell]:
     """Read-mostly cross-site workload under the three read modes."""
-    results = []
-    for mode in ("local", "forward", "fractional"):
-        world = build_world("wk", seed=seed, read_mode=mode)
-        spec = YcsbSpec(
+    return [
+        run_read_mode_cell(
+            mode,
+            seed=seed,
             record_count=record_count,
-            operation_count=operations_per_client,
+            operations_per_client=operations_per_client,
             write_fraction=write_fraction,
         )
-        recorders = {}
-        plans = []
-        for index, site in enumerate((CALIFORNIA, FRANKFURT)):
-            recorder = LatencyRecorder(f"A4-{mode}-{site}")
-            recorders[site] = recorder
-            plans.append(
-                ClientPlan(
-                    world.client(site),
-                    world.rngs.stream(f"a4-{site}"),
-                    recorder,
-                    chooser=UniformChooser(record_count),
-                )
-            )
-        run_ycsb(world.env, plans, spec, load_client=world.client(VIRGINIA))
-        merged = recorders[CALIFORNIA].merged(recorders[FRANKFURT])
-        results.append(
-            ReadModeCell(
-                mode=mode,
-                read_mean_ms=merged.mean_latency("read"),
-                total_throughput=sum(
-                    r.throughput_ops_per_sec() for r in recorders.values()
-                ),
-            )
-        )
-    return results
+        for mode in ("local", "forward", "fractional")
+    ]
 
 
 # ------------------------------------------------- A5: hub placement
@@ -309,6 +375,60 @@ class HubPlacementCell:
     l2_site: str
     total_throughput: float
     write_mean_ms: float
+
+
+def run_hub_placement_cell(
+    l2_site: str,
+    seed: int = 42,
+    record_count: int = 200,
+    operations_per_client: int = 1000,
+    write_fraction: float = 0.5,
+) -> HubPlacementCell:
+    """One cell of A5: the CA-heavy workload with the hub at ``l2_site``."""
+    from repro.net import wan_topology
+    from repro.net.transport import Network
+    from repro.sim import Environment, RngRegistry, seeded_rng
+    from repro.wankeeper import build_wankeeper_deployment
+
+    env = Environment()
+    topo = wan_topology()
+    net = Network(env, topo, rng=seeded_rng(seed, "net"))
+    deployment = build_wankeeper_deployment(env, net, topo, l2_site=l2_site)
+    deployment.start()
+    deployment.stabilize()
+    rngs = RngRegistry(seed)
+    spec = YcsbSpec(
+        record_count=record_count,
+        operation_count=operations_per_client,
+        write_fraction=write_fraction,
+    )
+    recorders = []
+    plans = []
+    client_sites = (CALIFORNIA, CALIFORNIA, FRANKFURT)
+    for index, site in enumerate(client_sites):
+        recorder = LatencyRecorder(f"A5-{l2_site}-{index}")
+        recorders.append(recorder)
+        plans.append(
+            ClientPlan(
+                deployment.client(site),
+                rngs.stream(f"a5-{index}"),
+                recorder,
+                chooser=OverlapChooser(
+                    record_count, 0.3, client_index=index, client_total=3
+                ),
+            )
+        )
+    run_ycsb(env, plans, spec, load_client=deployment.client(l2_site))
+    merged = recorders[0]
+    for recorder in recorders[1:]:
+        merged = merged.merged(recorder)
+    return HubPlacementCell(
+        l2_site=l2_site,
+        total_throughput=sum(
+            r.throughput_ops_per_sec() for r in recorders
+        ),
+        write_mean_ms=merged.mean_latency("write"),
+    )
 
 
 def run_ablation_hub_placement(
@@ -323,53 +443,13 @@ def run_ablation_hub_placement(
     with the level-2 broker placed in each region. Placing the hub where
     the traffic is minimizes the WAN cost of the remote-serialization path.
     """
-    from repro.experiments.common import build_world  # local import: cycle
-    from repro.net import wan_topology
-    from repro.net.transport import Network
-    from repro.sim import Environment, RngRegistry, seeded_rng
-    from repro.wankeeper import build_wankeeper_deployment
-
-    results = []
-    for l2_site in (VIRGINIA, CALIFORNIA, FRANKFURT):
-        env = Environment()
-        topo = wan_topology()
-        net = Network(env, topo, rng=seeded_rng(seed, "net"))
-        deployment = build_wankeeper_deployment(env, net, topo, l2_site=l2_site)
-        deployment.start()
-        deployment.stabilize()
-        rngs = RngRegistry(seed)
-        spec = YcsbSpec(
+    return [
+        run_hub_placement_cell(
+            l2_site,
+            seed=seed,
             record_count=record_count,
-            operation_count=operations_per_client,
+            operations_per_client=operations_per_client,
             write_fraction=write_fraction,
         )
-        recorders = []
-        plans = []
-        client_sites = (CALIFORNIA, CALIFORNIA, FRANKFURT)
-        for index, site in enumerate(client_sites):
-            recorder = LatencyRecorder(f"A5-{l2_site}-{index}")
-            recorders.append(recorder)
-            plans.append(
-                ClientPlan(
-                    deployment.client(site),
-                    rngs.stream(f"a5-{index}"),
-                    recorder,
-                    chooser=OverlapChooser(
-                        record_count, 0.3, client_index=index, client_total=3
-                    ),
-                )
-            )
-        run_ycsb(env, plans, spec, load_client=deployment.client(l2_site))
-        merged = recorders[0]
-        for recorder in recorders[1:]:
-            merged = merged.merged(recorder)
-        results.append(
-            HubPlacementCell(
-                l2_site=l2_site,
-                total_throughput=sum(
-                    r.throughput_ops_per_sec() for r in recorders
-                ),
-                write_mean_ms=merged.mean_latency("write"),
-            )
-        )
-    return results
+        for l2_site in (VIRGINIA, CALIFORNIA, FRANKFURT)
+    ]

@@ -27,7 +27,13 @@ from repro.workloads import (
 )
 from repro.workloads.driver import ClientPlan, run_ycsb
 
-__all__ = ["Fig10Cell", "run_fig10a", "run_fig10b", "run_fig10c"]
+__all__ = [
+    "Fig10Cell",
+    "run_fig10_cell",
+    "run_fig10a",
+    "run_fig10b",
+    "run_fig10c",
+]
 
 DEFAULT_OVERLAPS = (0.0, 0.1, 0.5, 0.8, 1.0)
 DEFAULT_SYSTEMS = ("zk_observer", "wk")
@@ -54,13 +60,13 @@ class Fig10Cell:
     total_throughput: float
 
 
-def _run_cell(
+def run_fig10_cell(
     system: str,
     overlap: float,
     hotspot: bool,
-    seed: int,
-    record_count: int,
-    operations_per_client: int,
+    seed: int = 42,
+    record_count: int = 500,
+    operations_per_client: int = 3000,
 ) -> Tuple[Fig10Cell, Dict[str, LatencyRecorder]]:
     spec = _scfs_spec(record_count, operations_per_client)
     world = build_world(system, seed=seed)
@@ -122,7 +128,7 @@ def run_fig10a(
     """Fig. 10a: no hotspot."""
     return {
         system: [
-            _run_cell(
+            run_fig10_cell(
                 system, overlap, False, seed, record_count, operations_per_client
             )[0]
             for overlap in overlaps
@@ -141,7 +147,7 @@ def run_fig10b(
     """Fig. 10b: 80% of operations on 20% of the data."""
     return {
         system: [
-            _run_cell(
+            run_fig10_cell(
                 system, overlap, True, seed, record_count, operations_per_client
             )[0]
             for overlap in overlaps
@@ -160,7 +166,7 @@ def run_fig10c(
     """Fig. 10c: WanKeeper throughput timelines (per-10s buckets) per site."""
     results: Dict[float, Dict[str, List[Tuple[float, float]]]] = {}
     for overlap in overlaps:
-        _cell, recorders = _run_cell(
+        _cell, recorders = run_fig10_cell(
             "wk", overlap, True, seed, record_count, operations_per_client
         )
         results[overlap] = {

@@ -16,7 +16,7 @@ from repro.net import CALIFORNIA, FRANKFURT, VIRGINIA
 from repro.workloads import LatencyRecorder, OverlapChooser, YcsbSpec
 from repro.workloads.driver import ClientPlan, run_ycsb
 
-__all__ = ["Fig6Result", "run_fig6"]
+__all__ = ["Fig6Result", "run_fig6", "run_fig6_cell"]
 
 DEFAULT_SETUPS = ("zk", "zk_observer", "wk", "wk_hot")
 
@@ -29,14 +29,14 @@ class Fig6Result:
     write_mean_ms: float
 
 
-def run_fig6(
-    setups: Sequence[str] = DEFAULT_SETUPS,
+def run_fig6_cell(
+    setup: str,
     seed: int = 42,
     record_count: int = 1000,
     operations_per_client: int = 5000,
     write_fraction: float = 0.5,
-) -> Dict[str, Fig6Result]:
-    """Run the four Fig. 6 setups; returns setup -> result."""
+) -> Fig6Result:
+    """Run one Fig. 6 setup as an independent cell."""
     spec = YcsbSpec(
         record_count=record_count,
         operation_count=operations_per_client,
@@ -52,42 +52,59 @@ def run_fig6(
         for index in chooser.private_indices:
             initial_tokens[spec.key(index)] = site
 
-    results: Dict[str, Fig6Result] = {}
-    for setup in setups:
-        world = build_world(setup, seed=seed, initial_tokens=initial_tokens)
-        recorders = {
-            site: LatencyRecorder(f"{setup}@{site}") for site in choosers
-        }
-        plans = [
-            ClientPlan(
-                world.client(site),
-                world.rngs.stream(f"ycsb-{site}"),
-                recorders[site],
-                chooser=choosers[site],
-            )
-            for site in (CALIFORNIA, FRANKFURT)
-        ]
-        if setup == "wk_hot":
-            # Create each partition from the site that pre-holds its
-            # tokens, so the hot placement survives the load phase.
-            load_plan = [
-                (plans[index].client, list(choosers[site].private_indices))
-                for index, site in enumerate((CALIFORNIA, FRANKFURT))
-            ]
-            run_ycsb(world.env, plans, spec, load_plan=load_plan)
-        else:
-            run_ycsb(world.env, plans, spec, load_client=world.client(VIRGINIA))
-        merged = recorders[CALIFORNIA].merged(recorders[FRANKFURT])
-        results[setup] = Fig6Result(
-            setup=setup,
-            total_throughput=sum(
-                recorder.throughput_ops_per_sec()
-                for recorder in recorders.values()
-            ),
-            per_site_throughput={
-                site: recorder.throughput_ops_per_sec()
-                for site, recorder in recorders.items()
-            },
-            write_mean_ms=merged.mean_latency("write"),
+    world = build_world(setup, seed=seed, initial_tokens=initial_tokens)
+    recorders = {
+        site: LatencyRecorder(f"{setup}@{site}") for site in choosers
+    }
+    plans = [
+        ClientPlan(
+            world.client(site),
+            world.rngs.stream(f"ycsb-{site}"),
+            recorders[site],
+            chooser=choosers[site],
         )
-    return results
+        for site in (CALIFORNIA, FRANKFURT)
+    ]
+    if setup == "wk_hot":
+        # Create each partition from the site that pre-holds its
+        # tokens, so the hot placement survives the load phase.
+        load_plan = [
+            (plans[index].client, list(choosers[site].private_indices))
+            for index, site in enumerate((CALIFORNIA, FRANKFURT))
+        ]
+        run_ycsb(world.env, plans, spec, load_plan=load_plan)
+    else:
+        run_ycsb(world.env, plans, spec, load_client=world.client(VIRGINIA))
+    merged = recorders[CALIFORNIA].merged(recorders[FRANKFURT])
+    return Fig6Result(
+        setup=setup,
+        total_throughput=sum(
+            recorder.throughput_ops_per_sec()
+            for recorder in recorders.values()
+        ),
+        per_site_throughput={
+            site: recorder.throughput_ops_per_sec()
+            for site, recorder in recorders.items()
+        },
+        write_mean_ms=merged.mean_latency("write"),
+    )
+
+
+def run_fig6(
+    setups: Sequence[str] = DEFAULT_SETUPS,
+    seed: int = 42,
+    record_count: int = 1000,
+    operations_per_client: int = 5000,
+    write_fraction: float = 0.5,
+) -> Dict[str, Fig6Result]:
+    """Run the four Fig. 6 setups; returns setup -> result."""
+    return {
+        setup: run_fig6_cell(
+            setup,
+            seed=seed,
+            record_count=record_count,
+            operations_per_client=operations_per_client,
+            write_fraction=write_fraction,
+        )
+        for setup in setups
+    }

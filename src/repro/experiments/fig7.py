@@ -17,7 +17,7 @@ from repro.net import CALIFORNIA, FRANKFURT, VIRGINIA
 from repro.workloads import LatencyRecorder, OverlapChooser, YcsbSpec
 from repro.workloads.driver import ClientPlan, run_ycsb
 
-__all__ = ["Fig7Cell", "run_fig7"]
+__all__ = ["Fig7Cell", "run_fig7", "run_fig7_cell"]
 
 DEFAULT_OVERLAPS = (0.0, 0.25, 0.5, 0.75, 1.0)
 DEFAULT_SYSTEMS = ("zk", "zk_observer", "wk")
@@ -31,6 +31,49 @@ class Fig7Cell:
     write_mean_ms: float
 
 
+def run_fig7_cell(
+    system: str,
+    overlap: float,
+    seed: int = 42,
+    record_count: int = 500,
+    operations_per_client: int = 3000,
+) -> Fig7Cell:
+    """One (system, overlap) cell of the contention sweep."""
+    spec = YcsbSpec(
+        record_count=record_count,
+        operation_count=operations_per_client,
+        write_fraction=1.0,
+    )
+    world = build_world(system, seed=seed)
+    recorders = {}
+    plans = []
+    for index, site in enumerate((CALIFORNIA, FRANKFURT)):
+        chooser = OverlapChooser(
+            record_count, overlap, client_index=index
+        )
+        recorder = LatencyRecorder(f"{system}@{site}@{overlap}")
+        recorders[site] = recorder
+        plans.append(
+            ClientPlan(
+                world.client(site),
+                world.rngs.stream(f"ycsb-{site}"),
+                recorder,
+                chooser=chooser,
+            )
+        )
+    run_ycsb(world.env, plans, spec, load_client=world.client(VIRGINIA))
+    merged = recorders[CALIFORNIA].merged(recorders[FRANKFURT])
+    return Fig7Cell(
+        system=system,
+        overlap=overlap,
+        total_throughput=sum(
+            recorder.throughput_ops_per_sec()
+            for recorder in recorders.values()
+        ),
+        write_mean_ms=merged.mean_latency("write"),
+    )
+
+
 def run_fig7(
     overlaps: Sequence[float] = DEFAULT_OVERLAPS,
     systems: Sequence[str] = DEFAULT_SYSTEMS,
@@ -39,42 +82,16 @@ def run_fig7(
     operations_per_client: int = 3000,
 ) -> Dict[str, List[Fig7Cell]]:
     """The contention sweep; returns system -> cells in overlap order."""
-    results: Dict[str, List[Fig7Cell]] = {system: [] for system in systems}
-    for system in systems:
-        for overlap in overlaps:
-            spec = YcsbSpec(
+    return {
+        system: [
+            run_fig7_cell(
+                system,
+                overlap,
+                seed=seed,
                 record_count=record_count,
-                operation_count=operations_per_client,
-                write_fraction=1.0,
+                operations_per_client=operations_per_client,
             )
-            world = build_world(system, seed=seed)
-            recorders = {}
-            plans = []
-            for index, site in enumerate((CALIFORNIA, FRANKFURT)):
-                chooser = OverlapChooser(
-                    record_count, overlap, client_index=index
-                )
-                recorder = LatencyRecorder(f"{system}@{site}@{overlap}")
-                recorders[site] = recorder
-                plans.append(
-                    ClientPlan(
-                        world.client(site),
-                        world.rngs.stream(f"ycsb-{site}"),
-                        recorder,
-                        chooser=chooser,
-                    )
-                )
-            run_ycsb(world.env, plans, spec, load_client=world.client(VIRGINIA))
-            merged = recorders[CALIFORNIA].merged(recorders[FRANKFURT])
-            results[system].append(
-                Fig7Cell(
-                    system=system,
-                    overlap=overlap,
-                    total_throughput=sum(
-                        recorder.throughput_ops_per_sec()
-                        for recorder in recorders.values()
-                    ),
-                    write_mean_ms=merged.mean_latency("write"),
-                )
-            )
-    return results
+            for overlap in overlaps
+        ]
+        for system in systems
+    }

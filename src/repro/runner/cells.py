@@ -1,0 +1,522 @@
+"""The registry of scenario cell functions.
+
+Every cell is a pure function ``params -> JSON-plain payload``: it builds
+a fresh seeded simulation, drives it to completion, and returns only
+scalars/lists/dicts. That contract is what makes cells safely executable
+in worker processes (payloads cross a pipe), cacheable on disk (payloads
+round-trip ``json.dumps``/``loads`` bit-exactly), and comparable for the
+determinism guard (in-process and worker runs must produce equal
+payloads).
+
+Cells wrap the per-cell entry points of :mod:`repro.experiments`; they
+never format output — rendering lives in :mod:`repro.runner.suites`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["CELLS", "run_cell"]
+
+
+def _maybe(fn: Callable, *args) -> Optional[float]:
+    try:
+        return fn(*args)
+    except ValueError:
+        return None
+
+
+# -- figure cells -------------------------------------------------------------
+
+
+def cell_ycsb_write_ratio(
+    system: str,
+    write_fraction: float,
+    seed: int = 42,
+    record_count: int = 1000,
+    operation_count: int = 10000,
+) -> Dict[str, Any]:
+    """One (system, write ratio) YCSB cell — feeds Fig. 4 and Fig. 5."""
+    from repro.experiments.fig4 import run_write_ratio_cell
+
+    cell = run_write_ratio_cell(
+        system,
+        write_fraction,
+        seed=seed,
+        record_count=record_count,
+        operation_count=operation_count,
+    )
+    recorder = cell.recorder
+    stats = recorder.summary()
+    return {
+        "system": system,
+        "write_fraction": write_fraction,
+        "throughput": cell.throughput,
+        "read_mean_ms": cell.read_mean_ms,
+        "write_mean_ms": cell.write_mean_ms,
+        "read_p99_ms": cell.read_p99_ms,
+        "write_p99_ms": cell.write_p99_ms,
+        "write_p50_ms": stats["write_p50_ms"],
+        "write_p90_ms": stats["write_p90_ms"],
+        # Fig. 5's "local commit" fraction (threshold from Fig5Result).
+        "local_write_fraction": _maybe(
+            recorder.fraction_below, 10.0, "write"
+        ),
+        "ops": stats["count"],
+    }
+
+
+def cell_fig6(
+    setup: str,
+    seed: int = 42,
+    record_count: int = 1000,
+    operations_per_client: int = 5000,
+    write_fraction: float = 0.5,
+) -> Dict[str, Any]:
+    from repro.experiments.fig6 import run_fig6_cell
+
+    result = run_fig6_cell(
+        setup,
+        seed=seed,
+        record_count=record_count,
+        operations_per_client=operations_per_client,
+        write_fraction=write_fraction,
+    )
+    return {
+        "setup": result.setup,
+        "total_throughput": result.total_throughput,
+        "per_site_throughput": dict(result.per_site_throughput),
+        "write_mean_ms": result.write_mean_ms,
+    }
+
+
+def cell_fig7(
+    system: str,
+    overlap: float,
+    seed: int = 42,
+    record_count: int = 500,
+    operations_per_client: int = 3000,
+) -> Dict[str, Any]:
+    from repro.experiments.fig7 import run_fig7_cell
+
+    cell = run_fig7_cell(
+        system,
+        overlap,
+        seed=seed,
+        record_count=record_count,
+        operations_per_client=operations_per_client,
+    )
+    return {
+        "system": cell.system,
+        "overlap": cell.overlap,
+        "total_throughput": cell.total_throughput,
+        "write_mean_ms": cell.write_mean_ms,
+    }
+
+
+def cell_fig8(
+    system: str,
+    write_duration_ms: float,
+    seed: int = 42,
+    total_duration_ms: float = 30000.0,
+) -> Dict[str, Any]:
+    from repro.experiments.fig8 import run_fig8_cell
+
+    cell = run_fig8_cell(
+        system,
+        write_duration_ms,
+        seed=seed,
+        total_duration_ms=total_duration_ms,
+    )
+    return {
+        "system": cell.system,
+        "write_duration_ms": cell.write_duration_ms,
+        "entries_per_sec": cell.entries_per_sec,
+        "handovers": cell.handovers,
+        "entries_total": cell.entries_total,
+    }
+
+
+def cell_fig10(
+    system: str,
+    overlap: float,
+    hotspot: bool,
+    seed: int = 42,
+    record_count: int = 500,
+    operations_per_client: int = 3000,
+) -> Dict[str, Any]:
+    from repro.experiments.fig10 import run_fig10_cell
+
+    cell, _recorders = run_fig10_cell(
+        system,
+        overlap,
+        hotspot,
+        seed=seed,
+        record_count=record_count,
+        operations_per_client=operations_per_client,
+    )
+    return {
+        "system": cell.system,
+        "overlap": cell.overlap,
+        "hotspot": cell.hotspot,
+        "per_site_throughput": dict(cell.per_site_throughput),
+        "per_site_latency_ms": dict(cell.per_site_latency_ms),
+        "total_throughput": cell.total_throughput,
+    }
+
+
+# -- ablation cells -----------------------------------------------------------
+
+
+def cell_ablation_threshold(
+    r: Optional[int],
+    seed: int = 42,
+    record_count: int = 300,
+    operations_per_client: int = 1500,
+    overlap: float = 0.3,
+) -> Dict[str, Any]:
+    from repro.experiments.ablations import run_threshold_cell
+
+    cell = run_threshold_cell(
+        r,
+        seed=seed,
+        record_count=record_count,
+        operations_per_client=operations_per_client,
+        overlap=overlap,
+    )
+    return {
+        "label": cell.label,
+        "total_throughput": cell.total_throughput,
+        "write_mean_ms": cell.write_mean_ms,
+        "tokens_recalled": cell.tokens_recalled,
+    }
+
+
+def cell_ablation_prediction(
+    policy: str,
+    seed: int = 42,
+    record_count: int = 8,
+    phase_len: int = 32,
+    phases: int = 6,
+) -> Dict[str, Any]:
+    from repro.experiments.ablations import run_prediction_cell
+
+    cell = run_prediction_cell(
+        policy,
+        seed=seed,
+        record_count=record_count,
+        phase_len=phase_len,
+        phases=phases,
+    )
+    return {
+        "policy": cell.policy,
+        "total_throughput": cell.total_throughput,
+        "write_mean_ms": cell.write_mean_ms,
+    }
+
+
+def cell_ablation_bulk_tokens(
+    policy: str, seed: int = 42, rounds: int = 30
+) -> Dict[str, Any]:
+    from repro.experiments.ablations import run_bulk_token_cell
+
+    cell = run_bulk_token_cell(policy, seed=seed, rounds=rounds)
+    return {
+        "label": cell.label,
+        "acquisitions_per_sec": cell.acquisitions_per_sec,
+    }
+
+
+def cell_ablation_read_mode(
+    mode: str,
+    seed: int = 42,
+    record_count: int = 100,
+    operations_per_client: int = 1000,
+    write_fraction: float = 0.05,
+) -> Dict[str, Any]:
+    from repro.experiments.ablations import run_read_mode_cell
+
+    cell = run_read_mode_cell(
+        mode,
+        seed=seed,
+        record_count=record_count,
+        operations_per_client=operations_per_client,
+        write_fraction=write_fraction,
+    )
+    return {
+        "mode": cell.mode,
+        "read_mean_ms": cell.read_mean_ms,
+        "total_throughput": cell.total_throughput,
+    }
+
+
+def cell_ablation_hub_placement(
+    l2_site: str,
+    seed: int = 42,
+    record_count: int = 200,
+    operations_per_client: int = 1000,
+    write_fraction: float = 0.5,
+) -> Dict[str, Any]:
+    from repro.experiments.ablations import run_hub_placement_cell
+
+    cell = run_hub_placement_cell(
+        l2_site,
+        seed=seed,
+        record_count=record_count,
+        operations_per_client=operations_per_client,
+        write_fraction=write_fraction,
+    )
+    return {
+        "l2_site": cell.l2_site,
+        "total_throughput": cell.total_throughput,
+        "write_mean_ms": cell.write_mean_ms,
+    }
+
+
+# -- lossy soak ---------------------------------------------------------------
+
+
+def cell_soak(
+    seed: int = 3,
+    ops_per_actor: int = 40,
+    key_count: int = 8,
+    quiesce_ms: float = 30000.0,
+) -> Dict[str, Any]:
+    """The lossy-WAN gray-failure soak as one scenario cell.
+
+    A reduced form of ``tests/test_lossy_soak.py``: ambient loss and
+    duplication on every WAN link, the full nemesis fault mix, retrying
+    clients at all three sites. The payload reports the four global
+    invariants (replica convergence, token exclusivity, per-key
+    linearizability, no-double-apply) as data instead of asserting, so
+    a soak cell rides the same executor/cache as the figure cells.
+    """
+    import random
+
+    from repro.consistency import (
+        HistoryRecorder,
+        check_linearizable_per_key,
+    )
+    from repro.net import (
+        CALIFORNIA,
+        FRANKFURT,
+        VIRGINIA,
+        LinkProfile,
+        Network,
+        wan_topology,
+    )
+    from repro.nemesis import Nemesis, NemesisConfig
+    from repro.sim import Environment, seeded_rng
+    from repro.wankeeper import build_wankeeper_deployment
+    from repro.zk import ConnectionLossError, SessionExpiredError
+
+    sites = (VIRGINIA, CALIFORNIA, FRANKFURT)
+    keys = [f"/soak/k{i}" for i in range(key_count)]
+
+    env = Environment()
+    topo = wan_topology(jitter_fraction=0.1)
+    net = Network(env, topo, rng=seeded_rng(seed, "net"))
+    deployment = build_wankeeper_deployment(env, net, topo)
+    deployment.start()
+    deployment.stabilize()
+    import itertools
+
+    ambient = LinkProfile(loss=0.02, duplicate=0.02)
+    for site_a, site_b in itertools.combinations(sites, 2):
+        net.degrade(site_a, site_b, ambient)
+
+    nemesis = Nemesis(
+        env,
+        net,
+        deployment,
+        seeded_rng(seed, "nemesis"),
+        NemesisConfig(
+            interval_ms=1000.0,
+            crash_probability=0.2,
+            partition_probability=0.1,
+            flaky_link_probability=0.15,
+            oneway_partition_probability=0.15,
+            gray_degrade_probability=0.15,
+            repair_after_ms=2500.0,
+        ),
+    )
+    history = HistoryRecorder()
+    counter = {"next": 0}
+    failures = {"count": 0}
+    ops = {"write": 0, "read": 0}
+    indeterminate = set()
+
+    def site_client(site):
+        client = deployment.client(
+            site, session_timeout_ms=30000.0, request_timeout_ms=3000.0
+        )
+        leader = deployment.site_leader(site)
+        if leader is not None and leader.is_alive:
+            client.server_addr = leader.client_addr
+        return client
+
+    def actor(site, rng):
+        client = site_client(site)
+        yield client.connect_retrying(max_retries=10)
+        for _ in range(ops_per_actor):
+            key = rng.choice(keys)
+            is_write = rng.random() < 0.6
+            start = env.now
+            try:
+                if is_write:
+                    counter["next"] += 1
+                    value = counter["next"]
+                    yield client.set_data_retrying(
+                        key, str(value).encode(), max_retries=10
+                    )
+                    history.record(site, "write", key, value, start, env.now)
+                    ops["write"] += 1
+                else:
+                    data, _stat = yield client.get_data_retrying(
+                        key, max_retries=10
+                    )
+                    history.record(
+                        site,
+                        "read",
+                        key,
+                        int(data) if data else None,
+                        start,
+                        env.now,
+                    )
+                    ops["read"] += 1
+            except (ConnectionLossError, SessionExpiredError) as exc:
+                failures["count"] += 1
+                if is_write:
+                    indeterminate.add(key)
+                if isinstance(exc, SessionExpiredError):
+                    client = site_client(site)
+                    yield client.connect_retrying(max_retries=10)
+            yield env.timeout(rng.uniform(100.0, 600.0))
+
+    def app():
+        setup = deployment.client(VIRGINIA)
+        yield setup.connect()
+        yield setup.create("/soak", b"")
+        for key in keys:
+            yield setup.create(key, b"")
+        yield env.timeout(1000.0)
+        nemesis.start()
+        procs = [
+            env.process(actor(site, random.Random(seed * 1000 + i)))
+            for i, site in enumerate(sites)
+        ]
+        for proc in procs:
+            yield proc
+        nemesis.stop_and_repair()
+        net.restore_all()
+        net.heal_all()
+        yield env.timeout(quiesce_ms)
+        return True
+
+    process = env.process(app())
+    deadline = env.now + 3.6e6
+    while (
+        not process.triggered
+        and env.now < deadline
+        and env.peek() != float("inf")
+    ):
+        env.run(until=min(deadline, env.now + 5000.0))
+    if not process.triggered:
+        raise RuntimeError("soak did not finish within the sim-time budget")
+    if not process.ok:
+        raise process.exception
+
+    # Invariants, reported as data.
+    fingerprints = set(deployment.content_fingerprints().values())
+    owners = {}
+    for site in sites:
+        leader = deployment.site_leader(site)
+        for key in leader.site_tokens.owned:
+            owners.setdefault(key, []).append(site)
+    token_conflicts = sum(1 for held in owners.values() if len(held) > 1)
+
+    checkable = [key for key in keys if key not in indeterminate]
+    tree = deployment.servers[0].tree
+    now = env.now
+    for key in checkable:
+        data, _stat = tree.get_data(key)
+        history.record(
+            "final-check", "read", key, int(data) if data else None, now, now + 1.0
+        )
+    lin_ops = [
+        op
+        for op in history.operations
+        if op.key in checkable
+        and (op.kind == "write" or op.client == "final-check")
+    ]
+    violations = check_linearizable_per_key(lin_ops, initial=None)
+    max_apply = max(
+        max(server.apply_counts.values(), default=0)
+        for server in deployment.servers
+    )
+    return {
+        "seed": seed,
+        "writes": ops["write"],
+        "reads": ops["read"],
+        "failures": failures["count"],
+        "indeterminate_keys": len(indeterminate),
+        "converged": len(fingerprints) == 1,
+        "token_conflicts": token_conflicts,
+        "linearizability_violations": len(violations),
+        "max_apply_count": max_apply,
+        "nemesis": dict(sorted(nemesis.summary().items())),
+    }
+
+
+# -- debug cells (exercised by the runner's own tests) ------------------------
+
+
+def cell_debug_echo(value: int = 0, sleep_s: float = 0.0) -> Dict[str, Any]:
+    """Trivial cell: optionally sleeps (wall clock), then echoes."""
+    if sleep_s:
+        import time
+
+        time.sleep(sleep_s)
+    return {"value": value}
+
+
+def cell_debug_crash(message: str = "boom") -> Dict[str, Any]:
+    """Cell that always raises — exercises failure surfacing."""
+    raise RuntimeError(message)
+
+
+def cell_debug_hang() -> Dict[str, Any]:
+    """Cell that never returns — exercises the per-cell timeout."""
+    import time
+
+    while True:
+        time.sleep(0.1)
+
+
+CELLS: Dict[str, Callable[..., Any]] = {
+    "ycsb_write_ratio": cell_ycsb_write_ratio,
+    "fig6": cell_fig6,
+    "fig7": cell_fig7,
+    "fig8": cell_fig8,
+    "fig10": cell_fig10,
+    "ablation_threshold": cell_ablation_threshold,
+    "ablation_prediction": cell_ablation_prediction,
+    "ablation_bulk_tokens": cell_ablation_bulk_tokens,
+    "ablation_read_mode": cell_ablation_read_mode,
+    "ablation_hub_placement": cell_ablation_hub_placement,
+    "soak": cell_soak,
+    "debug_echo": cell_debug_echo,
+    "debug_crash": cell_debug_crash,
+    "debug_hang": cell_debug_hang,
+}
+
+
+def run_cell(scenario) -> Any:
+    """Execute ``scenario``'s cell function with its parameters."""
+    try:
+        fn = CELLS[scenario.cell]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell {scenario.cell!r}; registered: {sorted(CELLS)}"
+        ) from None
+    return fn(**scenario.kwargs)

@@ -1,0 +1,612 @@
+"""Experiment suites: scenario builders + deterministic renderers.
+
+Each suite converts one CLI experiment (``fig4`` ... ``ablations``,
+``soak``) into its list of independent :class:`Scenario` cells and a
+renderer that formats the collected payloads into the same plain-text
+tables the serial CLI has always printed. Renderers iterate the
+*builder's* grid order — never execution or completion order — so the
+output of ``--jobs N`` is byte-identical for every N.
+
+Builders and renderers both take ``(small, seed)`` and derive the grid
+from the same size tables, so a cell's spec and its slot in the output
+can never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.experiments.common import format_table
+from repro.runner.scenario import Scenario
+
+__all__ = ["SUITES", "build_suite", "render_suite", "suite_names"]
+
+Results = Dict[str, Any]  # scenario digest -> payload
+
+
+def _get(results: Results, scenario: Scenario) -> Any:
+    return results[scenario.digest()]
+
+
+# -- fig4 ---------------------------------------------------------------------
+
+_FIG4_SYSTEMS = ("zk", "zk_observer", "wk")
+_FIG4_FRACTIONS = (0.0, 0.05, 0.25, 0.5)
+
+
+def _fig4_grid(small: bool, seed: int) -> List[Tuple[str, float, Scenario]]:
+    ops = 2000 if small else 10000
+    records = 300 if small else 1000
+    grid = []
+    for system in _FIG4_SYSTEMS:
+        for fraction in _FIG4_FRACTIONS:
+            grid.append(
+                (
+                    system,
+                    fraction,
+                    Scenario.make(
+                        "ycsb_write_ratio",
+                        dict(
+                            system=system,
+                            write_fraction=fraction,
+                            seed=seed,
+                            record_count=records,
+                            operation_count=ops,
+                        ),
+                        suite="fig4",
+                        label=f"{system}@{fraction:.0%}",
+                    ),
+                )
+            )
+    return grid
+
+
+def _fig4_build(small: bool, seed: int) -> List[Scenario]:
+    return [scenario for _, _, scenario in _fig4_grid(small, seed)]
+
+
+def _fig4_render(small: bool, seed: int, results: Results) -> str:
+    grid = _fig4_grid(small, seed)
+    cells = {(system, fraction): _get(results, s) for system, fraction, s in grid}
+    rows = []
+    for fraction in _FIG4_FRACTIONS:
+        rows.append(
+            [f"{fraction:.0%}"]
+            + [cells[(system, fraction)]["throughput"] for system in _FIG4_SYSTEMS]
+        )
+    latency_rows = []
+    for fraction in _FIG4_FRACTIONS:
+        for system in _FIG4_SYSTEMS:
+            cell = cells[(system, fraction)]
+            latency_rows.append(
+                [f"{fraction:.0%}", system, cell["read_mean_ms"] or 0.0,
+                 cell["write_mean_ms"] or 0.0]
+            )
+    return (
+        format_table(["write%"] + list(_FIG4_SYSTEMS), rows,
+                     title="Fig 4a: throughput (ops/sec)")
+        + "\n\n"
+        + format_table(
+            ["write%", "system", "read ms", "write ms"],
+            latency_rows,
+            title="Fig 4b: mean latency",
+        )
+    )
+
+
+# -- fig5 ---------------------------------------------------------------------
+
+_FIG5_SYSTEMS = ("zk", "zk_observer", "wk")
+_FIG5_FRACTIONS = (0.5, 1.0)
+
+
+def _fig5_grid(small: bool, seed: int) -> List[Tuple[str, float, Scenario]]:
+    records = 200 if small else 600
+    ops = 1500 if small else 5000
+    grid = []
+    for system in _FIG5_SYSTEMS:
+        for fraction in _FIG5_FRACTIONS:
+            grid.append(
+                (
+                    system,
+                    fraction,
+                    Scenario.make(
+                        "ycsb_write_ratio",
+                        dict(
+                            system=system,
+                            write_fraction=fraction,
+                            seed=seed,
+                            record_count=records,
+                            operation_count=ops,
+                        ),
+                        suite="fig5",
+                        label=f"{system}@{fraction:.0%}",
+                    ),
+                )
+            )
+    return grid
+
+
+def _fig5_build(small: bool, seed: int) -> List[Scenario]:
+    return [scenario for _, _, scenario in _fig5_grid(small, seed)]
+
+
+def _fig5_render(small: bool, seed: int, results: Results) -> str:
+    grid = _fig5_grid(small, seed)
+    rows = [
+        [
+            system,
+            f"{fraction:.0%}",
+            payload["local_write_fraction"],
+            payload["write_p50_ms"],
+            payload["write_p90_ms"],
+        ]
+        for (system, fraction), payload in sorted(
+            ((sys_frac, _get(results, s)) for *sys_frac, s in grid),
+            key=lambda item: item[0],
+        )
+    ]
+    return format_table(
+        ["system", "write%", "local frac", "p50 ms", "p90 ms"],
+        rows,
+        title="Fig 5: write-latency CDF summary",
+    )
+
+
+# -- fig6 ---------------------------------------------------------------------
+
+_FIG6_SETUPS = ("zk", "zk_observer", "wk", "wk_hot")
+
+
+def _fig6_grid(small: bool, seed: int) -> List[Tuple[str, Scenario]]:
+    records = 300 if small else 1000
+    ops = 1200 if small else 4000
+    return [
+        (
+            setup,
+            Scenario.make(
+                "fig6",
+                dict(
+                    setup=setup,
+                    seed=seed,
+                    record_count=records,
+                    operations_per_client=ops,
+                    write_fraction=0.5,
+                ),
+                suite="fig6",
+                label=setup,
+            ),
+        )
+        for setup in _FIG6_SETUPS
+    ]
+
+
+def _fig6_build(small: bool, seed: int) -> List[Scenario]:
+    return [scenario for _, scenario in _fig6_grid(small, seed)]
+
+
+def _fig6_render(small: bool, seed: int, results: Results) -> str:
+    rows = []
+    for setup, scenario in _fig6_grid(small, seed):
+        payload = _get(results, scenario)
+        rows.append(
+            [
+                setup,
+                payload["total_throughput"],
+                payload["per_site_throughput"]["california"],
+                payload["per_site_throughput"]["frankfurt"],
+                payload["write_mean_ms"],
+            ]
+        )
+    return format_table(
+        ["setup", "total ops/s", "CA", "FR", "write ms"],
+        rows,
+        title="Fig 6: two-site throughput, disjoint access",
+    )
+
+
+# -- fig7 ---------------------------------------------------------------------
+
+_FIG7_SYSTEMS = ("zk", "zk_observer", "wk")
+_FIG7_OVERLAPS = (0.0, 0.5, 1.0)
+
+
+def _fig7_grid(small: bool, seed: int) -> List[Tuple[str, float, Scenario]]:
+    records = 200 if small else 400
+    ops = 800 if small else 2500
+    return [
+        (
+            system,
+            overlap,
+            Scenario.make(
+                "fig7",
+                dict(
+                    system=system,
+                    overlap=overlap,
+                    seed=seed,
+                    record_count=records,
+                    operations_per_client=ops,
+                ),
+                suite="fig7",
+                label=f"{system}@{overlap:.0%}",
+            ),
+        )
+        for system in _FIG7_SYSTEMS
+        for overlap in _FIG7_OVERLAPS
+    ]
+
+
+def _fig7_build(small: bool, seed: int) -> List[Scenario]:
+    return [scenario for _, _, scenario in _fig7_grid(small, seed)]
+
+
+def _fig7_render(small: bool, seed: int, results: Results) -> str:
+    grid = _fig7_grid(small, seed)
+    cells = {(system, overlap): _get(results, s) for system, overlap, s in grid}
+    rows = [
+        [f"{overlap:.0%}"]
+        + [cells[(system, overlap)]["total_throughput"] for system in _FIG7_SYSTEMS]
+        for overlap in _FIG7_OVERLAPS
+    ]
+    return format_table(
+        ["overlap"] + list(_FIG7_SYSTEMS), rows, title="Fig 7: contention sweep"
+    )
+
+
+# -- fig8 ---------------------------------------------------------------------
+
+_FIG8_SYSTEMS = ("zk", "zk_observer", "wk")
+_FIG8_DURATIONS = (200.0, 400.0, 1600.0)
+
+
+def _fig8_grid(small: bool, seed: int) -> List[Tuple[str, float, Scenario]]:
+    total = 10000.0 if small else 25000.0
+    return [
+        (
+            system,
+            duration,
+            Scenario.make(
+                "fig8",
+                dict(
+                    system=system,
+                    write_duration_ms=duration,
+                    seed=seed,
+                    total_duration_ms=total,
+                ),
+                suite="fig8",
+                label=f"{system}@{duration:.0f}ms",
+            ),
+        )
+        for system in _FIG8_SYSTEMS
+        for duration in _FIG8_DURATIONS
+    ]
+
+
+def _fig8_build(small: bool, seed: int) -> List[Scenario]:
+    return [scenario for _, _, scenario in _fig8_grid(small, seed)]
+
+
+def _fig8_render(small: bool, seed: int, results: Results) -> str:
+    grid = _fig8_grid(small, seed)
+    cells = {(system, duration): _get(results, s) for system, duration, s in grid}
+    rows = [
+        [f"{duration/1000:.1f}s"]
+        + [cells[(system, duration)]["entries_per_sec"] for system in _FIG8_SYSTEMS]
+        for duration in _FIG8_DURATIONS
+    ]
+    return format_table(
+        ["duration"] + list(_FIG8_SYSTEMS), rows,
+        title="Fig 8b: BookKeeper entries/sec",
+    )
+
+
+# -- fig10 --------------------------------------------------------------------
+
+_FIG10_SYSTEMS = ("zk_observer", "wk")
+_FIG10_OVERLAPS = (0.1, 0.5, 0.8)
+
+
+def _fig10_grid(
+    small: bool, seed: int
+) -> List[Tuple[str, float, bool, Scenario]]:
+    records = 200 if small else 400
+    ops = 800 if small else 2500
+    grid = []
+    for hotspot in (False, True):
+        for system in _FIG10_SYSTEMS:
+            for overlap in _FIG10_OVERLAPS:
+                grid.append(
+                    (
+                        system,
+                        overlap,
+                        hotspot,
+                        Scenario.make(
+                            "fig10",
+                            dict(
+                                system=system,
+                                overlap=overlap,
+                                hotspot=hotspot,
+                                seed=seed,
+                                record_count=records,
+                                operations_per_client=ops,
+                            ),
+                            suite="fig10",
+                            label=f"{system}@{overlap:.0%}"
+                            + ("+hotspot" if hotspot else ""),
+                        ),
+                    )
+                )
+    return grid
+
+
+def _fig10_build(small: bool, seed: int) -> List[Scenario]:
+    return [scenario for _, _, _, scenario in _fig10_grid(small, seed)]
+
+
+def _fig10_render(small: bool, seed: int, results: Results) -> str:
+    grid = _fig10_grid(small, seed)
+    cells = {
+        (system, overlap, hotspot): _get(results, s)
+        for system, overlap, hotspot, s in grid
+    }
+    parts = []
+    for title, hotspot in (
+        ("Fig 10a: SCFS, no hotspot", False),
+        ("Fig 10b: SCFS, 20% hotspot per site", True),
+    ):
+        rows = []
+        for overlap in _FIG10_OVERLAPS:
+            for system in _FIG10_SYSTEMS:
+                cell = cells[(system, overlap, hotspot)]
+                rows.append(
+                    [f"{overlap:.0%}", system, cell["total_throughput"]]
+                )
+        parts.append(
+            format_table(["overlap", "system", "ops/s"], rows, title=title)
+        )
+    return "\n\n".join(parts)
+
+
+# -- ablations ----------------------------------------------------------------
+
+_A1_R_VALUES = (1, 2, 4, 8, None)
+_A2_POLICIES = ("consecutive(r=2)", "markov(r=2,t=0.6)")
+_A3_POLICIES = ("bulk-migrating", "pinned-at-hub")
+_A4_MODES = ("local", "forward", "fractional")
+_A5_SITES = ("virginia", "california", "frankfurt")
+
+
+def _ablations_grid(small: bool, seed: int) -> Dict[str, List[Scenario]]:
+    grid: Dict[str, List[Scenario]] = {}
+    grid["a1"] = [
+        Scenario.make(
+            "ablation_threshold",
+            dict(
+                r=r,
+                seed=seed,
+                record_count=150 if small else 300,
+                operations_per_client=600 if small else 1500,
+                overlap=0.3,
+            ),
+            suite="ablations",
+            label=f"A1 r={r}",
+        )
+        for r in _A1_R_VALUES
+    ]
+    grid["a2"] = [
+        Scenario.make(
+            "ablation_prediction",
+            dict(policy=policy, seed=seed),
+            suite="ablations",
+            label=f"A2 {policy}",
+        )
+        for policy in _A2_POLICIES
+    ]
+    grid["a3"] = [
+        Scenario.make(
+            "ablation_bulk_tokens",
+            dict(policy=policy, seed=seed, rounds=15 if small else 25),
+            suite="ablations",
+            label=f"A3 {policy}",
+        )
+        for policy in _A3_POLICIES
+    ]
+    grid["a4"] = [
+        Scenario.make(
+            "ablation_read_mode",
+            dict(
+                mode=mode,
+                seed=seed,
+                operations_per_client=500 if small else 1500,
+            ),
+            suite="ablations",
+            label=f"A4 {mode}",
+        )
+        for mode in _A4_MODES
+    ]
+    grid["a5"] = [
+        Scenario.make(
+            "ablation_hub_placement",
+            dict(
+                l2_site=site,
+                seed=seed,
+                record_count=100 if small else 200,
+                operations_per_client=400 if small else 1000,
+            ),
+            suite="ablations",
+            label=f"A5 hub={site}",
+        )
+        for site in _A5_SITES
+    ]
+    return grid
+
+
+def _ablations_build(small: bool, seed: int) -> List[Scenario]:
+    grid = _ablations_grid(small, seed)
+    return [s for part in ("a1", "a2", "a3", "a4", "a5") for s in grid[part]]
+
+
+def _ablations_render(small: bool, seed: int, results: Results) -> str:
+    grid = _ablations_grid(small, seed)
+    parts = []
+    parts.append(
+        format_table(
+            ["policy", "ops/s", "write ms", "recalls"],
+            [
+                [
+                    payload["label"],
+                    payload["total_throughput"],
+                    payload["write_mean_ms"],
+                    payload["tokens_recalled"],
+                ]
+                for payload in (_get(results, s) for s in grid["a1"])
+            ],
+            title="A1: migration threshold r",
+        )
+    )
+    parts.append(
+        format_table(
+            ["policy", "ops/s", "write ms"],
+            [
+                [
+                    payload["policy"],
+                    payload["total_throughput"],
+                    payload["write_mean_ms"],
+                ]
+                for payload in (_get(results, s) for s in grid["a2"])
+            ],
+            title="A2: Markov prediction",
+        )
+    )
+    parts.append(
+        format_table(
+            ["policy", "acquisitions/s"],
+            [
+                [payload["label"], payload["acquisitions_per_sec"]]
+                for payload in (_get(results, s) for s in grid["a3"])
+            ],
+            title="A3: bulk sequential-znode tokens",
+        )
+    )
+    parts.append(
+        format_table(
+            ["read mode", "read ms", "ops/s"],
+            [
+                [
+                    payload["mode"],
+                    payload["read_mean_ms"],
+                    payload["total_throughput"],
+                ]
+                for payload in (_get(results, s) for s in grid["a4"])
+            ],
+            title="A4: fractional read/write tokens",
+        )
+    )
+    parts.append(
+        format_table(
+            ["l2 site", "ops/s", "write ms"],
+            [
+                [
+                    payload["l2_site"],
+                    payload["total_throughput"],
+                    payload["write_mean_ms"],
+                ]
+                for payload in (_get(results, s) for s in grid["a5"])
+            ],
+            title="A5: hub placement (CA-heavy workload)",
+        )
+    )
+    return "\n\n".join(parts)
+
+
+# -- soak ---------------------------------------------------------------------
+
+
+def _soak_grid(small: bool, seed: int) -> List[Tuple[int, Scenario]]:
+    # Two independent seeded soaks per run, like the acceptance test's
+    # seed parametrization (derived from --seed so sweeps stay seeded).
+    seeds = (seed, seed + 14)
+    ops = 25 if small else 60
+    return [
+        (
+            soak_seed,
+            Scenario.make(
+                "soak",
+                dict(
+                    seed=soak_seed,
+                    ops_per_actor=ops,
+                    key_count=8,
+                    quiesce_ms=30000.0,
+                ),
+                suite="soak",
+                label=f"seed={soak_seed}",
+            ),
+        )
+        for soak_seed in seeds
+    ]
+
+
+def _soak_build(small: bool, seed: int) -> List[Scenario]:
+    return [scenario for _, scenario in _soak_grid(small, seed)]
+
+
+def _soak_render(small: bool, seed: int, results: Results) -> str:
+    rows = []
+    for soak_seed, scenario in _soak_grid(small, seed):
+        payload = _get(results, scenario)
+        rows.append(
+            [
+                soak_seed,
+                payload["writes"],
+                payload["reads"],
+                payload["failures"],
+                "yes" if payload["converged"] else "NO",
+                payload["token_conflicts"],
+                payload["linearizability_violations"],
+                payload["max_apply_count"],
+            ]
+        )
+    return format_table(
+        ["seed", "writes", "reads", "fails", "converged", "token conflicts",
+         "lin viols", "max apply"],
+        rows,
+        title="Lossy-WAN gray-failure soak invariants",
+    )
+
+
+# -- registry -----------------------------------------------------------------
+
+SUITES: Dict[
+    str,
+    Tuple[
+        Callable[[bool, int], List[Scenario]],
+        Callable[[bool, int, Results], str],
+    ],
+] = {
+    "fig4": (_fig4_build, _fig4_render),
+    "fig5": (_fig5_build, _fig5_render),
+    "fig6": (_fig6_build, _fig6_render),
+    "fig7": (_fig7_build, _fig7_render),
+    "fig8": (_fig8_build, _fig8_render),
+    "fig10": (_fig10_build, _fig10_render),
+    "ablations": (_ablations_build, _ablations_render),
+    "soak": (_soak_build, _soak_render),
+}
+
+#: Suites included in ``--all`` (the CLI's historical experiment set;
+#: the soak is opt-in by name).
+DEFAULT_SUITE_NAMES = tuple(sorted(name for name in SUITES if name != "soak"))
+
+
+def suite_names() -> List[str]:
+    return sorted(SUITES)
+
+
+def build_suite(name: str, small: bool, seed: int) -> List[Scenario]:
+    build, _render = SUITES[name]
+    return build(small, seed)
+
+
+def render_suite(name: str, small: bool, seed: int, results: Results) -> str:
+    _build, render = SUITES[name]
+    return render(small, seed, results)

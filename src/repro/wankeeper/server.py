@@ -640,7 +640,7 @@ class WanKeeperServer(ZkServer):
 
     def _commit_token_sync(self, op: TokenSyncOp) -> None:
         """Inventory reconciliation: ``site`` owns exactly ``keys``."""
-        for key in self.hub_tokens.held_by(op.site):
+        for key in sorted(self.hub_tokens.held_by(op.site)):
             if key not in op.keys:
                 self.hub_tokens.accept_return(key)
         for key in op.keys:
@@ -693,7 +693,7 @@ class WanKeeperServer(ZkServer):
                 self._ack_site(wan_txn.serialized_at)
                 # Replicated local commits feed the learning policies (the
                 # broker's access log covers migrated-token activity too).
-                for key in token_keys(wan_txn.txn.op):
+                for key in sorted(token_keys(wan_txn.txn.op)):
                     self._policy.observe(key, wan_txn.serialized_at)
             self._flush_relays()
             self._hub_pump()
@@ -1327,7 +1327,9 @@ class WanKeeperServer(ZkServer):
         """Unexpired leaseholders per key, pruning expired entries."""
         now = self.env.now
         result: Dict[str, List[NodeAddress]] = {}
-        for key in keys:
+        # ``keys`` is often a set; sort so downstream invalidate sends
+        # happen in a PYTHONHASHSEED-independent order.
+        for key in sorted(keys):
             holders = self._read_holders.get(key)
             if not holders:
                 continue

@@ -131,6 +131,35 @@ class LatencyRecorder:
             for bucket, count in sorted(buckets.items())
         ]
 
+    def summary(
+        self, kinds: Sequence[str] = ("read", "write")
+    ) -> Dict[str, object]:
+        """JSON-plain aggregate snapshot (for scenario cells / caching).
+
+        Per kind: count, mean, p50/p90/p99 (None when the kind has no ok
+        samples), plus overall count, throughput, span, and errors. Every
+        value is a JSON scalar so the dict round-trips bit-exactly
+        through the result cache.
+        """
+        def maybe(fn, *args):
+            try:
+                return fn(*args)
+            except ValueError:
+                return None
+
+        out: Dict[str, object] = {
+            "count": self.count(),
+            "errors": self.errors,
+            "span_ms": self.span_ms(),
+            "throughput_ops_per_sec": self.throughput_ops_per_sec(),
+        }
+        for kind in kinds:
+            out[f"{kind}_count"] = self.count(kind)
+            out[f"{kind}_mean_ms"] = maybe(self.mean_latency, kind)
+            for p in (50, 90, 99):
+                out[f"{kind}_p{p}_ms"] = maybe(self.percentile_latency, p, kind)
+        return out
+
     def merged(self, other: "LatencyRecorder") -> "LatencyRecorder":
         """A new recorder with both sample sets (multi-client totals)."""
         result = LatencyRecorder(name=f"{self.name}+{other.name}")

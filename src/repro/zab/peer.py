@@ -149,6 +149,9 @@ class ZabPeer:
         # Recently proposed/forwarded txn ids (duplicate suppression for
         # retransmitted SubmitRequests under lossy links).
         self._recent_submits: "OrderedDict[Tuple[Any, ...], None]" = OrderedDict()
+        # Always iterate these sorted(): raw set order is string hash
+        # order, which varies per interpreter (PYTHONHASHSEED) and would
+        # leak into the shared network jitter RNG's draw order.
         self._active_followers: Set[NodeAddress] = set()
         self._active_observers: Set[NodeAddress] = set()
         self._discovery_epochs: Dict[NodeAddress, int] = {}
@@ -311,9 +314,9 @@ class ZabPeer:
             self._broadcast_vote()
         elif self.state == PeerState.LEADING:
             ping = Ping(self.addr, self.current_epoch, self.last_committed)
-            for member in self._active_followers:
+            for member in sorted(self._active_followers):
                 self._send(member, ping)
-            for member in self._active_observers:
+            for member in sorted(self._active_observers):
                 self._send(member, ping)
             if self._broadcast_active:
                 self._retransmit_pending()
@@ -684,7 +687,7 @@ class ZabPeer:
         self._acks[zxid] = {self.addr}
         self._proposed_at[zxid] = self.env.now
         message = Propose(self.addr, zxid, txn)
-        for follower in self._active_followers:
+        for follower in sorted(self._active_followers):
             self._send(follower, message)
         self._maybe_commit()
         return zxid
@@ -715,7 +718,7 @@ class ZabPeer:
             self._proposed_at[zxid] = now
             message = Propose(self.addr, zxid, entry.txn)
             acked = self._acks.get(zxid, set())
-            for follower in self._active_followers:
+            for follower in sorted(self._active_followers):
                 if follower not in acked:
                     self._send(follower, message)
                     self.proposals_retransmitted += 1
@@ -798,9 +801,9 @@ class ZabPeer:
         self.last_committed = zxid
         self._apply_up_to(zxid)
         commit = Commit(self.addr, zxid)
-        for follower in self._active_followers:
+        for follower in sorted(self._active_followers):
             self._send(follower, commit)
-        for observer in self._active_observers:
+        for observer in sorted(self._active_observers):
             for entry in committed:
                 self._send(observer, Inform(self.addr, entry.zxid, entry.txn))
 

@@ -1,0 +1,105 @@
+"""Content-addressed result cache: keying, invalidation, clearing.
+
+The cache key is ``sha256(code_digest : scenario_digest)`` — results are
+reused only while both the scenario spec and the ``repro`` source tree
+are unchanged. These tests pin hit/miss accounting, code-digest
+invalidation, corruption tolerance, and ``repro cache stats|clear``.
+"""
+
+import json
+
+from repro.runner import ResultCache, Scenario, code_digest, execute
+
+
+def _echo(value: int) -> Scenario:
+    return Scenario.make("debug_echo", {"value": value, "sleep_s": 0.0})
+
+
+def test_second_run_hits_first_run_misses(tmp_path):
+    root = str(tmp_path / "cache")
+    first = execute([_echo(1), _echo(2)], jobs=1, cache=ResultCache(root))
+    assert first.cache_hits == 0
+    assert first.cache_misses == 2
+    assert first.executed == 2
+
+    second = execute([_echo(1), _echo(2)], jobs=1, cache=ResultCache(root))
+    assert second.cache_hits == 2
+    assert second.cache_misses == 0
+    assert second.executed == 0
+    assert first.results == second.results
+
+
+def test_code_digest_change_invalidates(tmp_path):
+    root = str(tmp_path / "cache")
+    execute([_echo(3)], jobs=1, cache=ResultCache(root))
+    # Same scenario under a different code digest: miss, not a stale hit.
+    other = execute([_echo(3)], jobs=1, cache=ResultCache(root, code="f" * 64))
+    assert other.cache_hits == 0
+    assert other.executed == 1
+    # Original code digest still hits its own entry.
+    again = execute([_echo(3)], jobs=1, cache=ResultCache(root))
+    assert again.cache_hits == 1
+
+
+def test_untouched_cells_hit_while_new_cells_run(tmp_path):
+    root = str(tmp_path / "cache")
+    execute([_echo(1)], jobs=1, cache=ResultCache(root))
+    mixed = execute([_echo(1), _echo(2)], jobs=1, cache=ResultCache(root))
+    assert mixed.cache_hits == 1
+    assert mixed.cache_misses == 1
+    assert mixed.executed == 1
+
+
+def test_clear_empties_cache(tmp_path):
+    root = str(tmp_path / "cache")
+    cache = ResultCache(root)
+    execute([_echo(1), _echo(2)], jobs=1, cache=cache)
+    assert cache.stats()["entries"] == 2
+    removed = cache.clear()
+    assert removed == 2
+    assert cache.stats()["entries"] == 0
+    cold = execute([_echo(1)], jobs=1, cache=ResultCache(root))
+    assert cold.cache_hits == 0
+
+
+def test_corrupt_entry_is_treated_as_miss(tmp_path):
+    root = str(tmp_path / "cache")
+    cache = ResultCache(root)
+    scenario = _echo(9)
+    execute([scenario], jobs=1, cache=cache)
+    path = cache._path(cache.key(scenario))
+    with open(path, "w") as handle:
+        handle.write("{ not json")
+    retry = execute([scenario], jobs=1, cache=ResultCache(root))
+    assert retry.cache_hits == 0
+    assert retry.executed == 1
+    # The corrupt file was replaced by a fresh, valid entry.
+    with open(path) as handle:
+        assert json.load(handle)["payload"] == {"value": 9}
+
+
+def test_code_digest_is_stable_and_hex():
+    a = code_digest()
+    b = code_digest()
+    assert a == b
+    assert len(a) == 64
+    int(a, 16)  # raises if not hex
+
+
+def test_cache_cli_stats_and_clear(tmp_path, capsys):
+    from repro.cli import main
+
+    root = str(tmp_path / "cache")
+    execute([_echo(4)], jobs=1, cache=ResultCache(root))
+
+    assert main(["cache", "stats", "--cache-dir", root]) == 0
+    out = capsys.readouterr().out
+    assert "entries:   1" in out
+
+    assert main(["cache", "clear", "--cache-dir", root]) == 0
+    out = capsys.readouterr().out
+    assert "removed 1 cache entries" in out
+
+    assert main(["cache", "stats", "--cache-dir", root]) == 0
+    out = capsys.readouterr().out
+    assert "entries:   0" in out

@@ -1,0 +1,94 @@
+"""Determinism guard for the parallel scenario runner.
+
+The runner's whole value proposition rests on one contract: a cell's
+payload is a pure function of its scenario spec, so running it in-process
+(``--jobs 1``), in a spawned worker, or reading it back from the result
+cache must all yield the *same bytes*. These tests pin that contract,
+including a golden digest for a small YCSB cell so silent behavioural
+drift in the simulator shows up as a test failure rather than as a
+corrupt cache.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.runner import ResultCache, Scenario, execute
+
+# Small enough to run in seconds, big enough to exercise the whole
+# client/server/token path.
+_YCSB_PARAMS = {
+    "system": "wk",
+    "write_fraction": 0.5,
+    "seed": 1234,
+    "record_count": 50,
+    "operation_count": 300,
+}
+
+# sha256 of the canonical JSON payload for the cell above. If this
+# changes, simulator behaviour changed: update it deliberately alongside
+# the golden digests in tests/test_perf_golden.py, never casually.
+GOLDEN_YCSB_DIGEST = (
+    "0adf91175473f23db939007b1ca561ad88658f857078bbd157df45445d8b2b34"
+)
+
+
+def _digest(payload) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _scenario() -> Scenario:
+    return Scenario.make("ycsb_write_ratio", _YCSB_PARAMS)
+
+
+def test_scenario_digest_is_order_and_process_independent():
+    a = Scenario.make("debug_echo", {"value": 3, "sleep_s": 0.0})
+    b = Scenario.make("debug_echo", {"sleep_s": 0.0, "value": 3})
+    assert a.digest() == b.digest()
+    assert a == b
+    # suite/label are presentation-only: they must not change the digest.
+    c = Scenario.make(
+        "debug_echo", {"value": 3, "sleep_s": 0.0}, suite="x", label="y"
+    )
+    assert c.digest() == a.digest()
+
+
+def test_scenario_rejects_non_json_params():
+    with pytest.raises(TypeError):
+        Scenario.make("debug_echo", {"value": object()})
+
+
+def test_in_process_and_worker_payloads_identical():
+    scenario = _scenario()
+    serial = execute([scenario], jobs=1)
+    serial.raise_on_failure()
+    parallel = execute([scenario], jobs=2, timeout_s=600)
+    parallel.raise_on_failure()
+    assert serial.payload(scenario) == parallel.payload(scenario)
+    assert _digest(serial.payload(scenario)) == _digest(
+        parallel.payload(scenario)
+    )
+
+
+def test_ycsb_cell_matches_golden_digest():
+    scenario = _scenario()
+    report = execute([scenario], jobs=1)
+    report.raise_on_failure()
+    payload = report.payload(scenario)
+    assert _digest(payload) == GOLDEN_YCSB_DIGEST, (
+        "seeded YCSB cell payload changed; if intentional, update "
+        "GOLDEN_YCSB_DIGEST with the new value: " + _digest(payload)
+    )
+
+
+def test_cached_payload_identical_to_fresh(tmp_path):
+    scenario = _scenario()
+    cache = ResultCache(str(tmp_path / "cache"))
+    fresh = execute([scenario], jobs=1, cache=cache)
+    fresh.raise_on_failure()
+    cached = execute([scenario], jobs=1, cache=ResultCache(str(tmp_path / "cache")))
+    cached.raise_on_failure()
+    assert cached.cache_hits == 1 and cached.executed == 0
+    assert fresh.payload(scenario) == cached.payload(scenario)

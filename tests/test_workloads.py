@@ -105,6 +105,25 @@ def test_recorder_aggregates():
     assert recorder.throughput_ops_per_sec() == pytest.approx(11 / 0.15)
 
 
+def test_recorder_summary_is_json_plain():
+    import json
+
+    recorder = LatencyRecorder("test")
+    for i in range(4):
+        recorder.record("read", start=i * 10.0, latency=2.0)
+    recorder.record("write", start=50.0, latency=20.0)
+    summary = recorder.summary()
+    assert summary["count"] == 5
+    assert summary["read_count"] == 4
+    assert summary["read_mean_ms"] == pytest.approx(2.0)
+    assert summary["write_p99_ms"] == pytest.approx(20.0)
+    # No writes recorded -> None, not an exception.
+    empty = LatencyRecorder().summary()
+    assert empty["write_mean_ms"] is None
+    # The whole dict must round-trip JSON bit-exactly (cache contract).
+    assert json.loads(json.dumps(summary)) == summary
+
+
 def test_recorder_cdf_and_fraction_below():
     recorder = LatencyRecorder()
     for latency in [1.0, 2.0, 3.0, 4.0]:
