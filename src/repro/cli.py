@@ -13,6 +13,10 @@ Subcommands:
   stderr.
 * ``python -m repro cache stats|clear`` — inspect or empty the cache.
 * ``python -m repro bench`` — simulator-throughput benchmarks.
+* ``python -m repro trace --out FILE`` — run a small traced WanKeeper
+  workload (sentinel on) and dump the structured event trace as JSONL.
+* ``python -m repro diff-traces A B`` — first divergence of two JSONL
+  traces (sequence numbers ignored).
 """
 
 from __future__ import annotations
@@ -115,7 +119,20 @@ def _experiments_main(argv: List[str]) -> int:
     parser.add_argument(
         "--verbose", action="store_true", help="per-cell progress on stderr"
     )
+    parser.add_argument(
+        "--sentinel",
+        action="store_true",
+        help="run every scenario with the online invariant sentinel attached "
+        "(any invariant violation fails the run with a trace tail)",
+    )
     args = parser.parse_args(argv)
+
+    if args.sentinel:
+        # Worker processes are spawned and inherit os.environ, so setting
+        # the gate here covers in-process and parallel execution alike.
+        from repro.invariants import SENTINEL_ENV
+
+        os.environ[SENTINEL_ENV] = "1"
 
     names = list(args.names)
     if args.all:
@@ -217,6 +234,115 @@ def _cache_main(argv: List[str]) -> int:
     return 0
 
 
+# -- `trace` / `diff-traces` subcommands --------------------------------------
+
+
+def _trace_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=(
+            "Run a small WanKeeper workload with the structured trace and "
+            "invariant sentinel enabled, then dump the trace as JSONL. Two "
+            "runs with the same --seed/--ops produce comparable traces for "
+            "`python -m repro diff-traces`."
+        ),
+    )
+    parser.add_argument("--out", required=True, help="JSONL output path")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--ops", type=int, default=60, help="writes per site (default 60)"
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=65536,
+        help="trace ring-buffer capacity (default 65536)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.invariants import SENTINEL_ENV
+
+    os.environ[SENTINEL_ENV] = "1"
+
+    import random
+
+    from repro.net.topology import CALIFORNIA, VIRGINIA, wan_topology
+    from repro.net.transport import Network
+    from repro.sim.kernel import Environment
+    from repro.trace import TraceBuffer, install_trace
+    from repro.wankeeper import build_wankeeper_deployment
+
+    env = Environment()
+    topology = wan_topology(jitter_fraction=0.0)
+    net = Network(env, topology, rng=random.Random(args.seed))
+    deployment = build_wankeeper_deployment(env, net, topology)
+    # Builder attached a default-capacity trace; swap in the sized one
+    # before anything runs so the dump can hold the whole workload.
+    trace = install_trace(deployment, TraceBuffer(capacity=args.capacity))
+    if deployment.sentinel is not None:
+        deployment.sentinel.trace = trace
+    deployment.start()
+    deployment.stabilize()
+
+    def workload(client):
+        yield client.connect()
+        for index in range(args.ops):
+            yield client.create(f"/trace-{client.name}-{index}", b"x")
+        yield client.close()
+
+    for site in (VIRGINIA, CALIFORNIA):
+        client = deployment.client(site, name=f"tracer-{site}")
+        env.process(workload(client), name=f"wl-{site}")
+    env.run(until=env.now + 60000.0)
+    if deployment.sentinel is not None:
+        deployment.sentinel.final_check()
+
+    count = trace.dump(args.out)
+    print(
+        f"wrote {count} trace events to {args.out} "
+        f"({trace.total_emitted} emitted, capacity {args.capacity})"
+    )
+    return 0
+
+
+def _diff_traces_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro diff-traces",
+        description=(
+            "Compare two JSONL traces (from `repro trace` or "
+            "TraceBuffer.dump) and report the first divergent event. "
+            "Sequence numbers are ignored: only time, category, kind, node, "
+            "and detail are compared."
+        ),
+    )
+    parser.add_argument("trace_a")
+    parser.add_argument("trace_b")
+    parser.add_argument(
+        "--context",
+        type=int,
+        default=3,
+        metavar="N",
+        help="matching events to print before the divergence (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.trace import first_divergence, load_jsonl
+
+    events_a = load_jsonl(args.trace_a)
+    events_b = load_jsonl(args.trace_b)
+    divergence = first_divergence(events_a, events_b)
+    if divergence is None:
+        print(f"traces agree ({len(events_a)} events)")
+        return 0
+    index, event_a, event_b = divergence
+    for back in range(max(0, index - args.context), index):
+        print(f"  = #{back} {events_a[back]}")
+    print(f"first divergence at event #{index}:")
+    print(f"  a: {event_a if event_a is not None else '<trace ended>'}")
+    print(f"  b: {event_b if event_b is not None else '<trace ended>'}")
+    return 1
+
+
 # -- entry point --------------------------------------------------------------
 
 
@@ -234,6 +360,10 @@ def main(argv=None) -> int:
         return _experiments_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
+    if argv and argv[0] == "diff-traces":
+        return _diff_traces_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the WanKeeper paper's evaluation figures "

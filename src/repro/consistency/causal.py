@@ -150,7 +150,7 @@ def _reachability(successors: Dict[int, Set[int]]) -> Dict[int, Set[int]]:
     for targets in successors.values():
         nodes |= targets
     reach: Dict[int, Set[int]] = {}
-    for start in nodes:
+    for start in sorted(nodes):
         seen: Set[int] = set()
         frontier = list(successors.get(start, ()))
         while frontier:

@@ -132,6 +132,10 @@ class Nemesis:
 
     def _log(self, kind: str, target: str) -> None:
         self.events.append(FaultEvent(self.env.now, kind, target))
+        trace = self.net.trace
+        if trace is not None:
+            trace.emit(self.env.now, "nemesis", kind, "nemesis",
+                       {"target": target})
 
     def _run(self):
         while self._active:

@@ -99,6 +99,7 @@ class Network:
         "bytes_sent",
         "_taps",
         "_deliver_cb",
+        "trace",
     )
 
     def __init__(
@@ -146,6 +147,10 @@ class Network:
         self.drops_by_reason: Counter = Counter()
         self.bytes_sent = 0
         self._taps: List[Callable[[Envelope], None]] = []
+        #: Optional structured trace buffer (repro.trace.TraceBuffer).
+        #: Drops and fault transitions are traced; per-message sends are
+        #: not (they are the hot path and the taps already observe them).
+        self.trace = None
         # One bound method reused for every scheduled delivery.
         self._deliver_cb = self._deliver
 
@@ -191,6 +196,7 @@ class Network:
             raise ValueError(f"unknown address: {addr}")
         self._down.add(addr)
         self._inboxes[addr].close()
+        self._trace_fault("crash", str(addr))
         self._refresh_fast_path()
 
     def restart(self, addr: NodeAddress) -> None:
@@ -199,6 +205,7 @@ class Network:
             raise ValueError(f"node not down: {addr}")
         self._down.discard(addr)
         self._inboxes[addr].reopen()
+        self._trace_fault("restart", str(addr))
         self._refresh_fast_path()
 
     def is_down(self, addr: NodeAddress) -> bool:
@@ -209,6 +216,7 @@ class Network:
         if site_a == site_b:
             raise ValueError("cannot partition a site from itself")
         self._partitions.add(frozenset({site_a, site_b}))
+        self._trace_fault("partition", f"{site_a}~{site_b}")
         self._refresh_fast_path()
 
     def partition_one_way(self, src_site: str, dst_site: str) -> None:
@@ -220,6 +228,7 @@ class Network:
         if src_site == dst_site:
             raise ValueError("cannot partition a site from itself")
         self._oneway_partitions.add((src_site, dst_site))
+        self._trace_fault("oneway-partition", f"{src_site}->{dst_site}")
         self._refresh_fast_path()
 
     def heal(self, site_a: str, site_b: str) -> None:
@@ -227,6 +236,7 @@ class Network:
         self._partitions.discard(frozenset({site_a, site_b}))
         self._oneway_partitions.discard((site_a, site_b))
         self._oneway_partitions.discard((site_b, site_a))
+        self._trace_fault("heal", f"{site_a}~{site_b}")
         self._refresh_fast_path()
 
     def heal_one_way(self, src_site: str, dst_site: str) -> None:
@@ -266,12 +276,14 @@ class Network:
         self._link_profiles[(site_a, site_b)] = profile
         if symmetric:
             self._link_profiles[(site_b, site_a)] = profile
+        self._trace_fault("degrade", f"{site_a}~{site_b}")
         self._refresh_fast_path()
 
     def restore(self, site_a: str, site_b: str) -> None:
         """Remove any degradation between two sites (both directions)."""
         self._link_profiles.pop((site_a, site_b), None)
         self._link_profiles.pop((site_b, site_a), None)
+        self._trace_fault("restore", f"{site_a}~{site_b}")
         self._refresh_fast_path()
 
     def restore_all(self) -> None:
@@ -288,9 +300,22 @@ class Network:
         """Register an observer invoked for every *sent* envelope."""
         self._taps.append(callback)
 
-    def _drop(self, reason: str) -> None:
+    def _drop(self, reason: str, envelope: Optional[Envelope] = None) -> None:
         self.messages_dropped += 1
         self.drops_by_reason[reason] += 1
+        trace = self.trace
+        if trace is not None:
+            detail = {"reason": reason}
+            if envelope is not None:
+                detail["src"] = str(envelope.src)
+                detail["dst"] = str(envelope.dst)
+                detail["type"] = type(envelope.body).__name__
+            trace.emit(self.env._now, "net", "drop", "net", detail)
+
+    def _trace_fault(self, kind: str, target: str) -> None:
+        trace = self.trace
+        if trace is not None:
+            trace.emit(self.env._now, "net", kind, "net", {"target": target})
 
     # -- sending ----------------------------------------------------------
 
@@ -341,16 +366,16 @@ class Network:
             return
 
         if src in self._down or dst in self._down:
-            self._drop("crash")
+            self._drop("crash", envelope)
             return
         if self.partitioned_one_way(src.site, dst.site):
-            self._drop("partition")
+            self._drop("partition", envelope)
             return
 
         profile = self._link_profiles.get((src.site, dst.site))
         if profile is not None and profile.loss > 0.0:
             if self.rng.random() < profile.loss:
-                self._drop("loss")
+                self._drop("loss", envelope)
                 return
         copies = 1
         if profile is not None and profile.duplicate > 0.0:
@@ -391,15 +416,15 @@ class Network:
         # its state is re-checked here.
         inbox, envelope = item
         if self._down and envelope.dst in self._down:
-            self._drop("crash")
+            self._drop("crash", envelope)
             return
         if (self._partitions or self._oneway_partitions) and (
             self.partitioned_one_way(envelope.src.site, envelope.dst.site)
         ):
-            self._drop("partition")
+            self._drop("partition", envelope)
             return
         if inbox._closed:
-            self._drop("inbox-closed")
+            self._drop("inbox-closed", envelope)
             return
         # Inlined Store.put for the consumer-mode inbox (every protocol
         # endpoint registers a consumer); the closed check above already

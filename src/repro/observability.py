@@ -31,10 +31,19 @@ class MessageStats:
     local_messages: int = 0
     #: The network being observed (for drop/duplicate accounting).
     net: Optional[Network] = None
+    #: Network counters at attach time — drop/duplicate figures are deltas
+    #: from here, so counts accrued before ``attach()`` (warm-up, an earlier
+    #: MessageStats window) don't bleed into this window's report.
+    _drops_at_attach: Counter = field(default_factory=Counter)
+    _duplicated_at_attach: int = 0
 
     @classmethod
     def attach(cls, net: Network) -> "MessageStats":
-        stats = cls(net=net)
+        stats = cls(
+            net=net,
+            _drops_at_attach=Counter(net.drops_by_reason),
+            _duplicated_at_attach=net.messages_duplicated,
+        )
         net.tap(stats._observe)
         return stats
 
@@ -59,11 +68,21 @@ class MessageStats:
         return self.by_type.most_common(count)
 
     def drops_by_reason(self) -> Dict[str, int]:
-        """Messages dropped by the attached network, per tagged reason
-        (crash, partition, loss, inbox-closed)."""
+        """Messages dropped *since attach* by the attached network, per
+        tagged reason (crash, partition, loss, inbox-closed)."""
         if self.net is None:
             return {}
-        return dict(self.net.drops_by_reason)
+        return {
+            reason: count - self._drops_at_attach.get(reason, 0)
+            for reason, count in self.net.drops_by_reason.items()
+            if count - self._drops_at_attach.get(reason, 0) > 0
+        }
+
+    def messages_duplicated(self) -> int:
+        """Messages duplicated by the network since attach."""
+        if self.net is None:
+            return 0
+        return self.net.messages_duplicated - self._duplicated_at_attach
 
     def report(self) -> str:
         lines = [
@@ -79,7 +98,7 @@ class MessageStats:
             lines.append(
                 f"dropped: {dropped}"
                 + (f" ({breakdown})" if breakdown else "")
-                + f", duplicated: {self.net.messages_duplicated}"
+                + f", duplicated: {self.messages_duplicated()}"
             )
         lines.append("top message types:")
         for name, number in self.top_types():

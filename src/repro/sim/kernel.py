@@ -316,6 +316,10 @@ class Process(Event):
         self._ok = False
         self._exception = exc
         self._defused = False
+        trace = self.env.trace
+        if trace is not None:
+            trace.emit(self.env._now, "kernel", "process-fail", self.name,
+                       {"error": repr(exc)})
         self.env._enqueue(0.0, PRIORITY_URGENT, self)
 
 
@@ -392,7 +396,8 @@ class AllOf(_Condition):
 class Environment:
     """The simulation environment: clock + event queue + process factory."""
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_timeout_pool")
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_timeout_pool",
+                 "trace")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -400,6 +405,9 @@ class Environment:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._timeout_pool: List[Timeout] = []
+        #: Optional structured trace buffer (repro.trace.TraceBuffer); the
+        #: kernel only reports rare events (process failures) to it.
+        self.trace = None
 
     # -- clock ------------------------------------------------------------
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.invariants import maybe_attach_sentinel
 from repro.net.topology import NodeAddress, Topology, VIRGINIA
 from repro.net.transport import Network
 from repro.sim.kernel import Environment, SimulationError
@@ -32,6 +33,7 @@ class WanKeeperDeployment:
     wan: WanConfig
     servers: List[WanKeeperServer]
     by_site: Dict[str, List[WanKeeperServer]]
+    sentinel: Optional[object] = None
     _clients: List[ZkClient] = field(default_factory=list)
     _client_counter: int = 0
 
@@ -170,6 +172,13 @@ class WanKeeperDeployment:
         self.wan.site_server_addrs[site_name] = tuple(client_addrs)
         self.by_site[site_name] = new_servers
         self.servers.extend(new_servers)
+        if self.sentinel is not None:
+            # Late-joining servers watch the same trace and invariants.
+            if self.env.trace is not None:
+                for server in new_servers:
+                    server._trace = self.env.trace
+                    server.peer._trace = self.env.trace
+            self.sentinel.adopt(new_servers)
         for server in new_servers:
             server.start()
         return new_servers
@@ -254,4 +263,6 @@ def build_wankeeper_deployment(
             servers.append(server)
             by_site[site].append(server)
 
-    return WanKeeperDeployment(env, net, topology, wan, servers, by_site)
+    deployment = WanKeeperDeployment(env, net, topology, wan, servers, by_site)
+    deployment.sentinel = maybe_attach_sentinel(deployment)
+    return deployment

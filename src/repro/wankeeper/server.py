@@ -418,6 +418,13 @@ class WanKeeperServer(ZkServer):
         if self.site_tokens.holds_all(needed):
             self.site_tokens.admit(needed)
             self.local_commits += 1
+            if self.sentinel is not None:
+                self.sentinel.on_local_admit(self, needed)
+            if self._trace is not None:
+                self._trace.emit(self.env.now, "wan", "local-admit", self.name,
+                                 {"keys": sorted(needed),
+                                  "session": txn.session_id,
+                                  "cxid": txn.cxid})
             self._propose(
                 WanTxn(txn=txn, origin_site=self.site, serialized_at=self.site)
             )
@@ -574,8 +581,15 @@ class WanKeeperServer(ZkServer):
                     and not self._read_holders.get(key)
                 ):
                     grants.append(TokenGrant(key, origin_site))
+        if self.sentinel is not None:
+            self.sentinel.on_hub_serialize(self, needed)
+        if self._trace is not None:
+            self._trace.emit(self.env.now, "wan", "hub-serialize", self.name,
+                             {"keys": sorted(needed),
+                              "origin": origin_site,
+                              "grants": [(g.key, g.site) for g in grants]})
         self._hub_inflight_ids.add(wan_id_of(txn))
-        for key in needed:
+        for key in sorted(needed):
             self._inflight_hub_keys[key] = self._inflight_hub_keys.get(key, 0) + 1
         op = txn.op
         if isinstance(op, CloseSessionOp) and op.paths is None:
@@ -622,6 +636,9 @@ class WanKeeperServer(ZkServer):
             return  # stale/duplicate marker
         self.wan_epoch = op.epoch
         self.current_l2_site = op.l2_site
+        if self._trace is not None:
+            self._trace.emit(self.env.now, "wan", "wan-epoch", self.name,
+                             {"epoch": op.epoch, "l2_site": op.l2_site})
         # The new hub replays its filtered history from seq 1.
         self._applied_relay_count = 0
         if self.peer.is_leader:
@@ -643,7 +660,7 @@ class WanKeeperServer(ZkServer):
         for key in sorted(self.hub_tokens.held_by(op.site)):
             if key not in op.keys:
                 self.hub_tokens.accept_return(key)
-        for key in op.keys:
+        for key in op.keys:  # lint: iteration-order-ok (Tuple[str, ...])
             self.hub_tokens.grant(key, op.site)
         if self.peer.is_leader and self.is_hub_site:
             self._hub_pump()
@@ -658,8 +675,13 @@ class WanKeeperServer(ZkServer):
                 self._grant_counts.get(counter_key, 0) + 1
             )
             self.token_history.append((self.env.now, grant.key, grant.site))
+            if self._trace is not None:
+                self._trace.emit(self.env.now, "wan", "token-grant", self.name,
+                                 {"key": grant.key, "site": grant.site})
             if grant.site == self.site:
                 self.site_tokens.grant(grant.key)
+                if self.sentinel is not None and self.peer.is_leader:
+                    self.sentinel.on_token_grant(self, grant.key, grant.site)
         # Stream bookkeeping is symmetric (every server maintains it) so
         # any site can take over as hub after a level-2 failover.
         self._wan_history.append(wan_txn)
@@ -714,7 +736,10 @@ class WanKeeperServer(ZkServer):
                     )
 
     def _commit_release(self, op: TokenReleaseOp) -> None:
-        for key in op.keys:
+        if self._trace is not None:
+            self._trace.emit(self.env.now, "wan", "token-release", self.name,
+                             {"keys": list(op.keys)})
+        for key in op.keys:  # lint: iteration-order-ok (Tuple[str, ...])
             self.site_tokens.release(key)
             self._releasing.discard(key)
         if self.peer.is_leader and not self.is_hub_site and self._l2_addr:
@@ -725,7 +750,10 @@ class WanKeeperServer(ZkServer):
             )
 
     def _commit_accept(self, op: TokenAcceptOp) -> None:
-        for key in op.keys:
+        if self._trace is not None:
+            self._trace.emit(self.env.now, "wan", "token-accept", self.name,
+                             {"keys": list(op.keys), "site": op.site})
+        for key in op.keys:  # lint: iteration-order-ok (Tuple[str, ...])
             self.hub_tokens.accept_return(key)
             self.token_history.append((self.env.now, key, None))
             self._accepts_in_flight.discard(key)
@@ -745,10 +773,13 @@ class WanKeeperServer(ZkServer):
         """Level-1 leader: the hub terminated our lease on ``keys``."""
         if not self.peer.is_leader:
             return
+        if self._trace is not None:
+            self._trace.emit(self.env.now, "wan", "token-recall", self.name,
+                             {"keys": list(keys)})
         expected = dict(zip(keys, grant_counts or ()))
         releasable: Set[str] = set()
         not_owned: List[str] = []
-        for key in keys:
+        for key in keys:  # lint: iteration-order-ok (Tuple[str, ...])
             if key in self._releasing:
                 continue
             if key not in self.site_tokens.owned:
@@ -789,7 +820,7 @@ class WanKeeperServer(ZkServer):
             return
         valid = tuple(
             key
-            for key in msg.keys
+            for key in msg.keys  # lint: iteration-order-ok (Tuple)
             if self.hub_tokens.where(key) == msg.site
             and key not in self._accepts_in_flight
         )
@@ -1303,6 +1334,11 @@ class WanKeeperServer(ZkServer):
         if msg.lease and ok:
             lease_until = self.env.now + self.wan.read_lease_ms
             self._read_holders.setdefault(msg.key, {})[src] = lease_until
+            if self.sentinel is not None:
+                self.sentinel.on_lease_grant(self, msg.key)
+            if self._trace is not None:
+                self._trace.emit(self.env.now, "wan", "lease-grant", self.name,
+                                 {"key": msg.key, "until": lease_until})
         self.net.send(
             self.client_addr,
             src,
@@ -1315,7 +1351,7 @@ class WanKeeperServer(ZkServer):
     def _on_read_invalidate_ack(self, src: NodeAddress, msg: ReadInvalidateAck) -> None:
         if not (self.is_hub_site and self.peer.is_leader):
             return
-        for key in msg.keys:
+        for key in msg.keys:  # lint: iteration-order-ok (Tuple[str, ...])
             holders = self._read_holders.get(key)
             if holders is not None:
                 holders.pop(msg.sender, None)

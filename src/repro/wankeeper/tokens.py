@@ -103,7 +103,7 @@ class SiteTokenState:
 
     def admit(self, keys: Iterable[str]) -> None:
         """Count an admitted-but-uncommitted local txn against its keys."""
-        for key in keys:
+        for key in sorted(keys):
             self.inflight[key] = self.inflight.get(key, 0) + 1
 
     def retire(self, keys: Iterable[str]) -> Set[str]:
@@ -113,7 +113,7 @@ class SiteTokenState:
         caller must release them back to the hub.
         """
         ready: Set[str] = set()
-        for key in keys:
+        for key in sorted(keys):
             remaining = self.inflight.get(key, 0) - 1
             if remaining <= 0:
                 self.inflight.pop(key, None)

@@ -183,6 +183,11 @@ class ZabPeer:
         self.proposals_retransmitted = 0
         self.duplicate_submits_dropped = 0
 
+        # Observability (repro.trace / repro.invariants); None keeps every
+        # instrumentation point a single-branch no-op.
+        self._trace = None
+        self.sentinel = None
+
         self._alive = False
         self._procs: List[Any] = []
 
@@ -237,6 +242,10 @@ class ZabPeer:
         self.leader_addr = None
         self.last_committed = Zxid.ZERO
         self._last_applied = Zxid.ZERO
+        if self.sentinel is not None:
+            # The durable log replays from zero; applied-zxid tracking
+            # restarts with it.
+            self.sentinel.on_peer_reset(self)
         self._reset_leader_state()
         self._alive = True
         self._last_leader_contact = self.env.now
@@ -271,6 +280,10 @@ class ZabPeer:
         if state == self.state:
             return
         self.state = state
+        if self._trace is not None:
+            self._trace.emit(self.env.now, "zab", "state", self.name,
+                             {"state": state.value,
+                              "epoch": self.current_epoch})
         if self.on_state_change is not None:
             self.on_state_change(self)
 
@@ -614,6 +627,11 @@ class ZabPeer:
         # machine is rebuilt from scratch by re-applying from zero.
         self._last_applied = Zxid.ZERO
         self.last_committed = Zxid.ZERO
+        if self._trace is not None:
+            self._trace.emit(self.env.now, "zab", "snap-reset", self.name,
+                             {"entries": len(msg.entries)})
+        if self.sentinel is not None:
+            self.sentinel.on_peer_reset(self)
         if self.on_reset is not None:
             self.on_reset(self)
 
@@ -853,6 +871,8 @@ class ZabPeer:
         for entry in self.log.entries_range(self._last_applied, zxid):
             self._last_applied = entry.zxid
             self.commits_delivered += 1
+            if self.sentinel is not None:
+                self.sentinel.on_peer_commit(self, entry.zxid, entry.txn)
             self.on_commit(entry.zxid, entry.txn)
 
     # -------------------------------------------------------------- liveness

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.invariants import maybe_attach_sentinel
 from repro.net.topology import NodeAddress, Topology, VIRGINIA
 from repro.net.transport import Network
 from repro.sim.kernel import Environment, SimulationError
@@ -34,6 +35,7 @@ class ZkDeployment:
     topology: Topology
     config: EnsembleConfig
     servers: List[ZkServer]
+    sentinel: Optional[object] = None
     _clients: List[ZkClient] = field(default_factory=list)
     _client_counter: int = 0
 
@@ -158,4 +160,6 @@ def build_zk_deployment(
             )
         )
 
-    return ZkDeployment(env, net, topology, config, servers)
+    deployment = ZkDeployment(env, net, topology, config, servers)
+    deployment.sentinel = maybe_attach_sentinel(deployment)
+    return deployment

@@ -115,6 +115,15 @@ class ZkServer:
         # re-routed on the session ticker when overdue (a lost forward or a
         # fallen leader), relying on downstream duplicate suppression.
         self._inflight_txns: Dict[Tuple[str, int], Tuple[Txn, float]] = {}
+        # Sessions with a CloseSessionOp in flight (client-initiated or
+        # expiry-initiated): the expiry path must not submit a second close
+        # while the first one is still working through the broadcast layer.
+        self._closing: set = set()
+
+        # Observability (repro.trace / repro.invariants); None keeps every
+        # instrumentation point a single-branch no-op.
+        self._trace = None
+        self.sentinel = None
 
         # Metrics.
         self.reads_served = 0
@@ -177,6 +186,9 @@ class ZkServer:
         self._reply_cache = OrderedDict()
         self.apply_counts = {}
         self._inflight_txns = {}
+        self._closing = set()
+        if self.sentinel is not None:
+            self.sentinel.on_replica_reset(self)
         self.peer.restart()
         self._alive = True
         self._procs = [
@@ -223,6 +235,9 @@ class ZkServer:
         session = self.sessions.find_by_client(msg.client)
         if session is None:
             session = self.sessions.create(msg.client, msg.timeout_ms, self.env.now)
+            if self._trace is not None:
+                self._trace.emit(self.env.now, "zk", "session-create",
+                                 self.name, {"session": session.session_id})
         else:
             session.last_heard = self.env.now
         self.net.send(
@@ -336,6 +351,10 @@ class ZkServer:
                 return
         self.writes_accepted += 1
         self._pending_writes[key] = src
+        if isinstance(msg.op, CloseSessionOp):
+            # An expiry firing while this client-initiated close is in
+            # flight must not submit a second CloseSessionOp.
+            self._closing.add(msg.op.session_id)
         txn = Txn(
             session_id=msg.session_id,
             cxid=msg.cxid,
@@ -397,22 +416,42 @@ class ZkServer:
         self._inflight_txns.pop(key, None)
         if self.reply_cache_enabled and key in self._reply_cache:
             self.duplicate_commits_suppressed += 1
+            if self._trace is not None:
+                self._trace.emit(self.env.now, "zk", "dup-suppressed",
+                                 self.name,
+                                 {"session": txn.session_id,
+                                  "cxid": txn.cxid})
             self._reply_from_cache(key)
             return None
+        if isinstance(txn.op, CloseSessionOp):
+            self._closing.discard(txn.op.session_id)
+            # If the closed session is hosted here, retire it *before*
+            # firing the deletion watches below: real ZooKeeper severs the
+            # dying session first, so it never receives notifications for
+            # its own ephemeral deletions.
+            if self.sessions.get(txn.op.session_id) is not None:
+                self.sessions.mark_expired(txn.op.session_id)
+                self.watches.drop_session(txn.op.session_id)
+                if self._trace is not None:
+                    self._trace.emit(self.env.now, "zk", "session-close",
+                                     self.name,
+                                     {"session": txn.op.session_id})
         outcome = self._apply_txn(zxid, txn)
         self.apply_counts[key] = self.apply_counts.get(key, 0) + 1
+        if self._trace is not None:
+            self._trace.emit(self.env.now, "zk", "apply", self.name,
+                             {"session": txn.session_id, "cxid": txn.cxid,
+                              "op": type(txn.op).__name__,
+                              "ok": outcome.ok})
         self._fire_watches(outcome)
         reply = self._build_reply(txn, outcome)
+        if self.sentinel is not None:
+            self.sentinel.on_apply(self, txn, reply)
         if self.reply_cache_enabled:
             self._reply_cache[key] = reply
             while len(self._reply_cache) > REPLY_CACHE_LIMIT:
                 self._reply_cache.popitem(last=False)
         self._maybe_reply(txn, reply)
-        if isinstance(txn.op, CloseSessionOp):
-            # If the closed session is hosted here, retire it locally.
-            if self.sessions.get(txn.op.session_id) is not None:
-                self.sessions.mark_expired(txn.op.session_id)
-                self.watches.drop_session(txn.op.session_id)
         return outcome
 
     def _apply_txn(self, zxid: Zxid, txn: Txn) -> ApplyOutcome:
@@ -424,6 +463,12 @@ class ZkServer:
             for session_id, fired in self.watches.trigger(event):
                 session = self.sessions.get(session_id)
                 if session is not None and not session.expired:
+                    if self._trace is not None:
+                        self._trace.emit(self.env.now, "zk", "watch-fire",
+                                         self.name,
+                                         {"session": session_id,
+                                          "path": fired.path,
+                                          "type": fired.type.name})
                     self.net.send(
                         self.client_addr,
                         session.client,
@@ -469,6 +514,10 @@ class ZkServer:
         self.tree = DataTree()
         self._reply_cache = OrderedDict()
         self.apply_counts = {}
+        if self.sentinel is not None:
+            self.sentinel.on_replica_reset(self)
+        if self._trace is not None:
+            self._trace.emit(self.env.now, "zk", "tree-reset", self.name, None)
 
     # ---------------------------------------------------------------- sessions
 
@@ -522,7 +571,16 @@ class ZkServer:
             return
         self.sessions.mark_expired(session_id)
         self.watches.drop_session(session_id)
-        self.submit_system_txn(CloseSessionOp(session_id))
+        if self._trace is not None:
+            self._trace.emit(self.env.now, "zk", "session-expire", self.name,
+                             {"session": session_id})
+        if session_id not in self._closing:
+            # A client-initiated CloseSessionOp may already be in flight;
+            # submitting a second close here would double-commit the
+            # teardown. The in-flight retransmitter still recovers the
+            # first close if it was lost on the wire.
+            self._closing.add(session_id)
+            self.submit_system_txn(CloseSessionOp(session_id))
         self.net.send(
             self.client_addr, session.client, SessionExpiredNotice(session_id)
         )

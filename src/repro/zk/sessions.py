@@ -16,6 +16,14 @@ __all__ = ["Session", "SessionTracker"]
 
 @dataclass
 class Session:
+    """One client session.
+
+    ``timeout_ms`` is an *inclusive* bound: the session stays alive while
+    ``now - last_heard <= timeout_ms``, so a heartbeat landing exactly at
+    the timeout keeps it alive. Expiry requires strictly more than
+    ``timeout_ms`` of silence.
+    """
+
     session_id: str
     client: Any  # NodeAddress
     timeout_ms: float
@@ -46,15 +54,19 @@ class SessionTracker:
         return self._sessions.get(session_id)
 
     def find_by_client(self, client: Any) -> Optional[Session]:
-        """The live session of ``client``, if one exists.
+        """The *newest* live session of ``client``, if one exists.
 
         Lets a retried ConnectRequest (reply lost on the wire) be answered
-        idempotently instead of minting a second session.
+        idempotently instead of minting a second session. The scan order is
+        pinned: ``_sessions`` preserves creation order, and the last match
+        wins, so the answer is the most recently created live session —
+        independent of how many stale entries precede it.
         """
+        found = None
         for session in self._sessions.values():
             if session.client == client and not session.expired:
-                return session
-        return None
+                found = session
+        return found
 
     def touch(self, session_id: str, now: float) -> bool:
         """Record liveness; False if the session is unknown/expired."""
@@ -65,7 +77,12 @@ class SessionTracker:
         return True
 
     def expired_sessions(self, now: float) -> List[Session]:
-        """Sessions past their timeout (not yet marked expired)."""
+        """Sessions past their timeout (not yet marked expired).
+
+        The bound is strict (``>``, matching :class:`Session`'s documented
+        inclusive timeout): a session whose last heartbeat landed exactly
+        ``timeout_ms`` ago is still alive.
+        """
         return [
             session
             for session in self._sessions.values()

@@ -1,0 +1,14 @@
+"""Test-wide defaults.
+
+The invariant sentinel (``repro.invariants``) is opt-in at runtime so the
+hot bench path stays untouched, but every test run gets it for free: any
+single-token-ownership, double-apply, zxid-monotonicity, or reply-cache
+violation fails the test that produced it, with the trace tail attached.
+
+Setting ``REPRO_SENTINEL=0`` in the environment turns it back off (the
+``setdefault`` below never overrides an explicit choice).
+"""
+
+import os
+
+os.environ.setdefault("REPRO_SENTINEL", "1")

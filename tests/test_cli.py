@@ -50,3 +50,32 @@ def test_cli_bench_quick_writes_results(tmp_path, capsys, monkeypatch):
 def test_cli_bench_check_without_baseline_fails(tmp_path, capsys, monkeypatch):
     monkeypatch.chdir(tmp_path)
     assert main(["bench", "--quick", "--check"]) == 2
+
+
+def test_cli_trace_dump_and_diff(tmp_path, capsys):
+    trace_a = str(tmp_path / "a.jsonl")
+    trace_b = str(tmp_path / "b.jsonl")
+    assert main(["trace", "--out", trace_a, "--seed", "7", "--ops", "5"]) == 0
+    assert main(["trace", "--out", trace_b, "--seed", "7", "--ops", "5"]) == 0
+    capsys.readouterr()
+    # Same seed + workload: identical traces.
+    assert main(["diff-traces", trace_a, trace_b]) == 0
+    assert "traces agree" in capsys.readouterr().out
+    # Different workload size: a divergence, reported with its index.
+    trace_c = str(tmp_path / "c.jsonl")
+    assert main(["trace", "--out", trace_c, "--seed", "7", "--ops", "6"]) == 0
+    capsys.readouterr()
+    assert main(["diff-traces", trace_a, trace_c]) == 1
+    assert "first divergence at event #" in capsys.readouterr().out
+
+
+def test_cli_experiments_sentinel_flag_sets_env(monkeypatch, capsys):
+    import os
+
+    monkeypatch.delenv("REPRO_SENTINEL", raising=False)
+    assert main(
+        ["experiments", "fig5", "--small", "--no-cache", "--sentinel"]
+    ) == 0
+    assert os.environ.get("REPRO_SENTINEL") == "1"
+    output = capsys.readouterr().out
+    assert "fig5" in output

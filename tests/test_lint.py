@@ -1,0 +1,137 @@
+"""The iteration-order lint: unit checks plus the repo-wide gate.
+
+PR 3 fixed a class of bugs where iterating a raw ``set`` leaked hash
+order into message order, breaking run-to-run determinism under varying
+``PYTHONHASHSEED``. ``tools/lint_iteration_order.py`` keeps that class
+extinct; the gate test here fails the suite if a new site appears.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from lint_iteration_order import lint_file, lint_paths  # noqa: E402
+
+
+def _lint_source(tmp_path, source: str):
+    file = tmp_path / "sample.py"
+    file.write_text(source)
+    return lint_file(file)
+
+
+def test_flags_direct_set_iteration(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "pending = set()\n"
+        "for item in pending:\n"
+        "    print(item)\n",
+    )
+    assert [rule for _line, rule, _msg in findings] == ["set-iteration"]
+    assert findings[0][0] == 2
+
+
+def test_flags_set_literal_and_comprehension(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "for item in {1, 2, 3}:\n"
+        "    print(item)\n"
+        "names = [str(x) for x in {4, 5}]\n",
+    )
+    assert len(findings) == 2
+    assert all(rule == "set-iteration" for _line, rule, _msg in findings)
+
+
+def test_flags_set_typed_attribute(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "class Broker:\n"
+        "    def __init__(self):\n"
+        "        self._dirty = set()\n"
+        "    def flush(self):\n"
+        "        for key in self._dirty:\n"
+        "            self.emit(key)\n",
+    )
+    assert [rule for _line, rule, _msg in findings] == ["set-iteration"]
+
+
+def test_flags_annotated_set_argument(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "from typing import Set\n"
+        "def fan_out(keys: Set[str]):\n"
+        "    for key in keys:\n"
+        "        yield key\n",
+    )
+    assert [rule for _line, rule, _msg in findings] == ["set-iteration"]
+
+
+def test_sorted_wrapper_passes(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "pending = set()\n"
+        "for item in sorted(pending):\n"
+        "    print(item)\n",
+    )
+    assert findings == []
+
+
+def test_aggregators_are_order_insensitive(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "live = set()\n"
+        "count = sum(1 for x in live)\n"
+        "good = all(x > 0 for x in live)\n"
+        "frozen = frozenset(x for x in live)\n",
+    )
+    assert findings == []
+
+
+def test_suppression_comment(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "pending = set()\n"
+        "for item in pending:  # lint: iteration-order-ok\n"
+        "    print(item)\n",
+    )
+    assert findings == []
+
+
+def test_flags_dict_values_fanout(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def route(self):\n"
+        "    for peer in self.peers.values():\n"
+        "        self.net.send(peer)\n",
+    )
+    assert [rule for _line, rule, _msg in findings] == ["dict-order-fanout"]
+
+
+def test_flags_dict_values_first_match_return(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def find(self, client):\n"
+        "    for session in self.sessions.values():\n"
+        "        if session.client == client:\n"
+        "            return session\n",
+    )
+    assert [rule for _line, rule, _msg in findings] == ["dict-order-fanout"]
+
+
+def test_dict_values_aggregation_passes(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def count(self):\n"
+        "    total = 0\n"
+        "    for session in self.sessions.values():\n"
+        "        total += 1\n"
+        "    return total\n",
+    )
+    assert findings == []
+
+
+def test_repo_is_clean():
+    """The gate: no iteration-order findings anywhere under src/repro."""
+    reports = lint_paths([REPO_ROOT / "src" / "repro"])
+    assert reports == [], "\n".join(reports)

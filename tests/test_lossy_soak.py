@@ -200,6 +200,15 @@ def test_lossy_soak_invariants_hold_with_reply_cache(seed):
         worst = max(server.apply_counts.values())
         assert worst == 1, f"{server.name} applied a request {worst} times"
 
+    # 5. The online sentinel (tests/conftest.py enables it) watched the
+    # whole run: any violation would have raised mid-simulation. Confirm
+    # it was live and close out with the quiesce-time ephemeral check.
+    sentinel = deployment.sentinel
+    assert sentinel is not None, "sentinel not attached under REPRO_SENTINEL"
+    assert sentinel.checks_run > 0, "sentinel saw no checked events"
+    assert sentinel.violations == 0
+    sentinel.final_check()
+
 
 def test_lossy_soak_without_reply_cache_double_applies():
     """Control experiment: the identical soak with the reply cache off

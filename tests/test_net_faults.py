@@ -170,3 +170,30 @@ def test_message_stats_reports_drop_reasons_and_duplicates():
     assert "dropped: 2" in report
     assert "loss=1" in report and "crash=1" in report
     assert "duplicated: 0" in report
+
+
+def test_message_stats_attached_mid_run_reports_deltas_only():
+    """Regression: a stats window opened mid-run must not claim drops or
+    duplicates that happened before ``attach()``."""
+    env, topo, net = make_net()
+    src, dst, inbox = endpoints(topo, net)
+    net.degrade(VIRGINIA, CALIFORNIA, LinkProfile(loss=1.0))
+    for _ in range(3):
+        net.send(src, dst, "pre-attach-loss")
+    net.restore_all()
+    net.degrade(VIRGINIA, CALIFORNIA, LinkProfile(duplicate=1.0))
+    net.send(src, dst, "pre-attach-dup")
+    net.restore_all()
+    assert net.drops_by_reason["loss"] == 3
+    assert net.messages_duplicated == 1
+
+    stats = MessageStats.attach(net)
+    assert stats.drops_by_reason() == {}
+    assert stats.messages_duplicated() == 0
+    assert "dropped: 0" in stats.report()
+    assert "duplicated: 0" in stats.report()
+
+    net.degrade(VIRGINIA, CALIFORNIA, LinkProfile(loss=1.0))
+    net.send(src, dst, "post-attach-loss")
+    assert stats.drops_by_reason() == {"loss": 1}
+    assert "dropped: 1 (loss=1)" in stats.report()

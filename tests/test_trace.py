@@ -1,0 +1,133 @@
+"""The structured trace layer: ring buffer, JSONL roundtrip, divergence."""
+
+from repro.net import VIRGINIA
+from repro.trace import (
+    TraceBuffer,
+    first_divergence,
+    install_trace,
+    load_jsonl,
+    render_event,
+)
+
+from tests.support import fresh_world, plain_zk, run_app
+
+
+def _fill(buffer, count):
+    for index in range(count):
+        buffer.emit(float(index), "kernel", "tick", f"n{index}", {"i": index})
+
+
+def test_ring_buffer_keeps_newest():
+    buffer = TraceBuffer(capacity=4)
+    _fill(buffer, 10)
+    events = buffer.events()
+    assert len(events) == 4
+    assert buffer.total_emitted == 10
+    # Oldest-first within the retained window, newest last.
+    assert [event[0] for event in events] == [7, 8, 9, 10]
+
+
+def test_tail_is_oldest_first():
+    buffer = TraceBuffer(capacity=8)
+    _fill(buffer, 5)
+    tail = buffer.tail(3)
+    assert [event[0] for event in tail] == [3, 4, 5]
+    assert len(buffer.tail(100)) == 5
+
+
+def test_clear_resets_window_not_seq():
+    buffer = TraceBuffer(capacity=8)
+    _fill(buffer, 3)
+    buffer.clear()
+    assert buffer.events() == []
+    buffer.emit(9.0, "net", "drop", "net")
+    assert buffer.events()[0][0] == 4  # sequence keeps counting
+
+
+def test_render_event_mentions_fields():
+    buffer = TraceBuffer()
+    buffer.emit(12.5, "wan", "token-grant", "hub", {"key": "/k"})
+    line = render_event(buffer.events()[0])
+    assert "t=12.500" in line
+    assert "[wan/token-grant]" in line
+    assert "hub" in line
+    assert "key='/k'" in line or "key=/k" in line
+
+
+def test_jsonl_roundtrip(tmp_path):
+    buffer = TraceBuffer(capacity=16)
+    _fill(buffer, 6)
+    path = tmp_path / "trace.jsonl"
+    written = buffer.dump(str(path))
+    assert written == 6
+    loaded = load_jsonl(str(path))
+    assert len(loaded) == 6
+    assert loaded[0]["cat"] == "kernel"
+    assert loaded[0]["kind"] == "tick"
+    assert loaded[-1]["detail"] == {"i": 5}
+
+
+def test_first_divergence(tmp_path):
+    a = TraceBuffer(capacity=16)
+    b = TraceBuffer(capacity=16)
+    _fill(a, 4)
+    _fill(b, 4)
+    b.emit(99.0, "net", "drop", "net")
+    path_a, path_b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    a.dump(str(path_a))
+    b.dump(str(path_b))
+    events_a = load_jsonl(str(path_a))
+    events_b = load_jsonl(str(path_b))
+    index, event_a, event_b = first_divergence(events_a, events_b)
+    assert index == 4
+    assert event_a is None  # a ended
+    assert event_b["kind"] == "drop"
+
+
+def test_first_divergence_ignores_seq():
+    events_a = [{"seq": 1, "t": 0.0, "cat": "zk", "kind": "apply", "node": "x"}]
+    events_b = [{"seq": 7, "t": 0.0, "cat": "zk", "kind": "apply", "node": "x"}]
+    assert first_divergence(events_a, events_b) is None
+
+
+def test_install_trace_wires_deployment_and_captures_workload():
+    env, topo, net = fresh_world(seed=5)
+    deployment = plain_zk(env, net, topo)
+    trace = install_trace(deployment, TraceBuffer(capacity=4096))
+    assert env.trace is trace
+    assert net.trace is trace
+    for server in deployment.servers:
+        assert server._trace is trace
+        assert server.peer._trace is trace
+
+    client = deployment.client(VIRGINIA)
+
+    def app():
+        yield client.connect()
+        yield client.create("/traced", b"v")
+        yield client.close()
+        return True
+
+    assert run_app(env, app()) is True
+    kinds = {(event[2], event[3]) for event in trace.events()}
+    assert ("zk", "session-create") in kinds
+    assert ("zk", "apply") in kinds
+    assert ("zk", "session-close") in kinds
+
+
+def test_net_drop_and_fault_transitions_traced():
+    env, topo, net = fresh_world(seed=5)
+    deployment = plain_zk(env, net, topo)
+    trace = install_trace(deployment, TraceBuffer(capacity=4096))
+    victim = deployment.servers[-1]
+    net.crash(victim.client_addr)
+    net.crash(victim.peer.addr)
+    env.run(until=env.now + 2000.0)
+    net.restart(victim.client_addr)
+    net.restart(victim.peer.addr)
+    env.run(until=env.now + 500.0)
+    kinds = {(event[1], event[2], event[3]) for event in trace.events()}
+    cats_kinds = {(cat, kind) for _t, cat, kind in kinds}
+    assert ("net", "crash") in cats_kinds
+    assert ("net", "restart") in cats_kinds
+    assert ("net", "drop") in cats_kinds

@@ -1,0 +1,307 @@
+#!/usr/bin/env python
+"""Iteration-order lint: catch hash-order nondeterminism at review time.
+
+The simulator promises bit-identical runs for a given seed under any
+``PYTHONHASHSEED``. Iterating a raw ``set`` leaks hash order into event
+order (the PR 3 bug class: replicas fanning out messages in set order
+diverged between interpreter invocations). Python ``dict`` iteration is
+insertion-ordered — deterministic for one process — but insertion order
+can differ *across replicas*, so fan-out or first-match-wins loops over
+``.values()`` / ``.keys()`` are flagged too.
+
+Rules
+-----
+* **set-iteration** — a ``for`` statement or comprehension clause that
+  iterates a statically set-typed expression: a set literal / ``set()`` /
+  ``frozenset()`` call / set comprehension, a name or attribute assigned
+  one of those anywhere in the file, a ``Set[...]``/``set`` annotation, or
+  ``field(default_factory=set)``. Wrap the iterable in ``sorted(...)`` to
+  pin the order.
+* **dict-order-fanout** — a ``for`` statement that iterates
+  ``<expr>.values()`` or ``<expr>.keys()`` and whose body sends messages
+  (a ``.send(...)`` call) or returns/breaks out on the first match —
+  places where cross-replica insertion-order divergence becomes protocol
+  divergence.
+
+Suppress a deliberate, order-independent use with a trailing comment on
+the ``for`` line::
+
+    for key in self._dirty:  # lint: iteration-order-ok
+
+Usage: ``python tools/lint_iteration_order.py [paths...]`` (defaults to
+``src/repro``). Exits 1 if any finding is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+SUPPRESSION = "lint: iteration-order-ok"
+
+SET_ANNOTATIONS = {"Set", "set", "frozenset", "FrozenSet", "MutableSet"}
+
+
+class _SetTypeCollector(ast.NodeVisitor):
+    """First pass: names/attributes that are statically set-typed.
+
+    Scope is deliberately coarse (per file, by name): a false positive is
+    one ``sorted()`` or suppression comment away, while a missed set is an
+    irreproducible failure three PRs later.
+    """
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+
+    # -- helpers ---------------------------------------------------------
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            # field(default_factory=set)
+            if isinstance(func, ast.Name) and func.id == "field":
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg == "default_factory"
+                        and isinstance(keyword.value, ast.Name)
+                        and keyword.value.id in ("set", "frozenset")
+                    ):
+                        return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # set algebra propagates set-ness from either operand
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    def _is_set_annotation(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in SET_ANNOTATIONS
+        if isinstance(node, ast.Subscript):
+            return self._is_set_annotation(node.value)
+        if isinstance(node, ast.Attribute):
+            return node.attr in SET_ANNOTATIONS
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            head = node.value.split("[", 1)[0].strip()
+            return head in SET_ANNOTATIONS
+        return False
+
+    @staticmethod
+    def _target_name(node: ast.AST) -> str:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return ""
+
+    # -- visitors --------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_expr(node.value):
+            for target in node.targets:
+                name = self._target_name(target)
+                if name:
+                    self.set_names.add(name)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._is_set_annotation(node.annotation) or (
+            node.value is not None and self._is_set_expr(node.value)
+        ):
+            name = self._target_name(node.target)
+            if name:
+                self.set_names.add(name)
+        self.generic_visit(node)
+
+    def visit_arg(self, node: ast.arg) -> None:
+        if node.annotation is not None and self._is_set_annotation(node.annotation):
+            self.set_names.add(node.arg)
+        self.generic_visit(node)
+
+
+#: Builtins whose result cannot depend on argument order — a comprehension
+#: fed directly into one of these is exempt from the set-iteration rule.
+ORDER_INSENSITIVE_AGGREGATORS = {
+    "all", "any", "sum", "len", "min", "max", "set", "frozenset",
+}
+
+
+class _IterationChecker(ast.NodeVisitor):
+    def __init__(self, set_names: Set[str], source_lines: List[str]) -> None:
+        self.set_names = set_names
+        self.lines = source_lines
+        self.findings: List[Tuple[int, str, str]] = []
+        self._exempt: Set[int] = set()  # ids of aggregator-fed comprehensions
+
+    # -- helpers ---------------------------------------------------------
+
+    def _suppressed(self, lineno: int) -> bool:
+        if 1 <= lineno <= len(self.lines):
+            return SUPPRESSION in self.lines[lineno - 1]
+        return False
+
+    def _iter_is_set(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            return False  # sorted(...), list(...), anything() — order is theirs
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.set_names
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._iter_is_set(node.left) or self._iter_is_set(node.right)
+        return False
+
+    @staticmethod
+    def _is_dict_order_call(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("values", "keys")
+            and not node.args
+        )
+
+    @staticmethod
+    def _body_fans_out(body: List[ast.stmt]) -> bool:
+        """Does the loop body send a message or exit on first match?"""
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call) and isinstance(
+                    sub.func, ast.Attribute
+                ) and sub.func.attr == "send":
+                    return True
+                if isinstance(sub, (ast.Return, ast.Break)):
+                    return True
+        return False
+
+    def _describe(self, node: ast.AST) -> str:
+        try:
+            return ast.unparse(node)
+        except Exception:
+            return "<expr>"
+
+    # -- visitors --------------------------------------------------------
+
+    def _check_for(self, node, body: List[ast.stmt]) -> None:
+        if self._suppressed(node.lineno):
+            return
+        if self._iter_is_set(node.iter):
+            self.findings.append(
+                (
+                    node.lineno,
+                    "set-iteration",
+                    f"iterates set-typed `{self._describe(node.iter)}` — "
+                    "order is hash-dependent; wrap in sorted(...) or add "
+                    f"`# {SUPPRESSION}`",
+                )
+            )
+        elif (
+            body
+            and self._is_dict_order_call(node.iter)
+            and self._body_fans_out(body)
+        ):
+            self.findings.append(
+                (
+                    node.lineno,
+                    "dict-order-fanout",
+                    f"fan-out/first-match loop over "
+                    f"`{self._describe(node.iter)}` — insertion order can "
+                    "differ across replicas; iterate a sorted view or add "
+                    f"`# {SUPPRESSION}`",
+                )
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_for(node, node.body)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_for(node, node.body)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ORDER_INSENSITIVE_AGGREGATORS
+        ):
+            for arg in node.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+                    self._exempt.add(id(arg))
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node) -> None:
+        if id(node) in self._exempt:
+            self.generic_visit(node)
+            return
+        for clause in node.generators:
+            if self._suppressed(clause.iter.lineno):
+                continue
+            if self._iter_is_set(clause.iter):
+                self.findings.append(
+                    (
+                        clause.iter.lineno,
+                        "set-iteration",
+                        f"comprehension iterates set-typed "
+                        f"`{self._describe(clause.iter)}` — wrap in "
+                        f"sorted(...) or add `# {SUPPRESSION}`",
+                    )
+                )
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+    visit_DictComp = _check_comprehension
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a set from a set keeps order irrelevant by construction.
+        self.generic_visit(node)
+
+
+def lint_file(path: Path) -> List[Tuple[int, str, str]]:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [(exc.lineno or 0, "syntax-error", str(exc))]
+    collector = _SetTypeCollector()
+    collector.visit(tree)
+    checker = _IterationChecker(collector.set_names, source.splitlines())
+    checker.visit(tree)
+    return sorted(checker.findings)
+
+
+def lint_paths(paths: List[Path]) -> List[str]:
+    reports: List[str] = []
+    for root in paths:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for file in files:
+            for lineno, rule, message in lint_file(file):
+                reports.append(f"{file}:{lineno}: [{rule}] {message}")
+    return reports
+
+
+def main(argv: List[str]) -> int:
+    targets = [Path(arg) for arg in argv] or [Path("src/repro")]
+    reports = lint_paths(targets)
+    for report in reports:
+        print(report)
+    if reports:
+        print(f"{len(reports)} iteration-order finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
