@@ -13,12 +13,26 @@ experiments measure):
   (three sites, one client each); measures end-to-end events/sec and
   ops/wall-sec through the entire stack.
 
+A second, protocol-layer group behind ``--server`` benches the replicated
+state machine with no kernel or network in the loop:
+
+* **datatree** — seeded apply/read mix against a bare DataTree (wide
+  parent, get_data/exists/get_children/set_data);
+* **watches** — watch register/fire/miss/drop-session churn through
+  WatchManager;
+* **tokens** — WanKeeper token grant/recall/migration loop through
+  SiteTokenState/HubTokenState and token_key(s).
+
 ``repro bench`` writes ``BENCH_kernel.json`` in the current directory (the
-repo root, when run from there). An existing file's ``before`` section is
-preserved so the committed artifact keeps the pre-optimization numbers next
-to the current ones. ``--check`` compares a fresh run against the file's
-``after`` section — hardware-normalized via a calibration loop — and fails
-when events/sec regresses by more than ``CHECK_TOLERANCE``; CI runs it with
+repo root, when run from there); ``--server`` writes ``BENCH_server.json``.
+An existing file's ``before`` section is preserved so the committed
+artifact keeps the pre-optimization numbers next to the current ones, and
+every write appends a ``{commit, label, events_per_sec}`` point to the
+file's ``history`` list (``--label`` names the point) so BENCH files keep
+a trajectory instead of losing prior numbers. ``--check`` compares a fresh
+run against the file's ``after`` section — hardware-normalized via a
+calibration loop — and fails when events/sec regresses by more than the
+per-bench tolerance (20% for ycsb, 30% elsewhere); CI runs it with
 ``--quick``.
 """
 
@@ -34,26 +48,42 @@ __all__ = [
     "BENCH_FILE",
     "CHECK_TOLERANCE",
     "EXPERIMENTS_BENCH_FILE",
+    "SERVER_BENCH_FILE",
+    "bench_datatree",
     "bench_experiments",
     "bench_kernel",
+    "bench_tokens",
     "bench_transport",
+    "bench_watches",
     "bench_ycsb",
     "calibrate",
     "main",
+    "run_server_suite",
     "run_suite",
 ]
 
 BENCH_FILE = "BENCH_kernel.json"
 EXPERIMENTS_BENCH_FILE = "BENCH_experiments.json"
+SERVER_BENCH_FILE = "BENCH_server.json"
 
 # --check fails when normalized events/sec fall more than this fraction
-# below the committed baseline.
+# below the committed baseline (per-bench overrides in _TOLERANCES).
 CHECK_TOLERANCE = 0.30
+
+#: Per-bench --check tolerances. YCSB is the end-to-end headline number
+#: and the quietest of the three, so it gets the tighter CI gate.
+_TOLERANCES = {"ycsb": 0.20}
+
+#: BENCH files keep at most this many trajectory points.
+HISTORY_LIMIT = 20
 
 # (full size, --quick size) for each workload.
 _KERNEL_SIZES = {"procs": (50, 20), "rounds": (2000, 400)}
 _TRANSPORT_SIZES = {"messages": (60000, 10000)}
 _YCSB_SIZES = {"operations": (1500, 300), "records": (200, 100)}
+_DATATREE_SIZES = {"children": (400, 80), "ops": (80000, 8000)}
+_WATCH_SIZES = {"paths": (150, 40), "sessions": (100, 25), "ops": (60000, 6000)}
+_TOKEN_SIZES = {"keys": (240, 48), "ops": (50000, 5000)}
 
 
 def _size(table: Dict[str, Any], key: str, quick: bool) -> int:
@@ -169,6 +199,197 @@ def bench_ycsb(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
         "events_per_sec": world.env._seq / wall,
         "messages": world.net.messages_sent,
     }
+
+
+# -- server-layer (protocol/state-machine) microbenchmarks --------------------
+
+
+def bench_datatree(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
+    """Seeded apply/read mix against a bare DataTree (no kernel, no net).
+
+    One wide parent with hundreds of children — the shape that makes
+    get_children and per-read Stat allocation expensive — driven with a
+    precomputed 10% set_data / 90% read schedule so the timed loop does
+    nothing but DataTree work.
+    """
+    from repro.sim import seeded_rng
+    from repro.zab.zxid import Zxid
+    from repro.zk.data_tree import DataTree
+    from repro.zk.ops import CreateOp, SetDataOp
+
+    n_children = _size(_DATATREE_SIZES, "children", quick)
+    n_ops = _size(_DATATREE_SIZES, "ops", quick)
+    rng = seeded_rng(seed, "bench-datatree")
+    tree = DataTree()
+    counter = [0]
+
+    def next_zxid() -> Zxid:
+        counter[0] += 1
+        return Zxid(1, counter[0])
+
+    tree.apply(CreateOp("/bench"), next_zxid(), "bench-session")
+    paths = [f"/bench/item{i:04d}" for i in range(n_children)]
+    for path in paths:
+        tree.apply(CreateOp(path, b"v0"), next_zxid(), "bench-session")
+
+    schedule = []
+    for index in range(n_ops):
+        roll = rng.random()
+        path = paths[rng.randrange(n_children)]
+        if roll < 0.10:
+            schedule.append(("set", SetDataOp(path, b"v%d" % index)))
+        elif roll < 0.45:
+            schedule.append(("get", path))
+        elif roll < 0.70:
+            schedule.append(("exists", path))
+        else:
+            schedule.append(("children", "/bench"))
+
+    started = time.perf_counter()
+    for kind, arg in schedule:
+        if kind == "get":
+            tree.get_data(arg)
+        elif kind == "exists":
+            tree.exists(arg)
+        elif kind == "children":
+            tree.get_children(arg)
+        else:
+            tree.apply(arg, next_zxid(), "bench-session")
+    wall = time.perf_counter() - started
+    return {"ops": n_ops, "wall_s": wall, "ops_per_sec": n_ops / wall}
+
+
+def bench_watches(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
+    """Watch register/fire/miss/drop churn through WatchManager.
+
+    The mix includes fires on never-watched paths (the common case on a
+    busy server: most committed writes touch paths nobody watches) and
+    periodic whole-session drops.
+    """
+    from repro.sim import seeded_rng
+    from repro.zk.records import WatchEvent, WatchType
+    from repro.zk.watches import WatchManager
+
+    n_paths = _size(_WATCH_SIZES, "paths", quick)
+    n_sessions = _size(_WATCH_SIZES, "sessions", quick)
+    n_ops = _size(_WATCH_SIZES, "ops", quick)
+    rng = seeded_rng(seed, "bench-watches")
+    paths = [f"/w/p{i:03d}" for i in range(n_paths)]
+    cold = [f"/cold/p{i:03d}" for i in range(n_paths)]
+    sessions = [f"sess-{i:03d}" for i in range(n_sessions)]
+    manager = WatchManager()
+
+    schedule = []
+    for _ in range(n_ops):
+        roll = rng.random()
+        path = paths[rng.randrange(n_paths)]
+        session = sessions[rng.randrange(n_sessions)]
+        if roll < 0.25:
+            schedule.append(("data", path, session))
+        elif roll < 0.40:
+            schedule.append(("child", path, session))
+        elif roll < 0.70:
+            schedule.append(
+                ("fire", WatchEvent(WatchType.NODE_DATA_CHANGED, path), None)
+            )
+        elif roll < 0.97:
+            miss = cold[rng.randrange(n_paths)]
+            schedule.append(
+                ("fire", WatchEvent(WatchType.NODE_CHILDREN_CHANGED, miss), None)
+            )
+        else:
+            schedule.append(("drop", session, None))
+
+    fired = 0
+    started = time.perf_counter()
+    for kind, arg, session in schedule:
+        if kind == "fire":
+            fired += len(manager.trigger(arg))
+        elif kind == "data":
+            manager.add_data_watch(arg, session)
+        elif kind == "child":
+            manager.add_child_watch(arg, session)
+        else:
+            manager.drop_session(arg)
+    wall = time.perf_counter() - started
+    return {
+        "ops": n_ops,
+        "fired": fired,
+        "wall_s": wall,
+        "ops_per_sec": n_ops / wall,
+    }
+
+
+def bench_tokens(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
+    """WanKeeper token grant/recall/migration loop, three simulated sites.
+
+    Drives SiteTokenState/HubTokenState plus token_key/token_keys with a
+    precomputed write mix (plain set_data, bulk-token sequential deletes,
+    sequential creates) — every write resolves its keys, migrates tokens
+    between sites through the hub when missing, and admits/retires the
+    inflight count, exactly the per-commit bookkeeping the brokers do.
+    """
+    from repro.sim import seeded_rng
+    from repro.wankeeper.tokens import (
+        HubTokenState,
+        SiteTokenState,
+        token_key,
+        token_keys,
+    )
+    from repro.zk.ops import CreateOp, DeleteOp, SetDataOp
+
+    n_keys = _size(_TOKEN_SIZES, "keys", quick)
+    n_ops = _size(_TOKEN_SIZES, "ops", quick)
+    rng = seeded_rng(seed, "bench-tokens")
+    plain = [f"/app/key{i:04d}" for i in range(n_keys)]
+    queues = [f"/queue{i:02d}" for i in range(12)]
+    site_names = ("virginia", "california", "frankfurt")
+    sites = {name: SiteTokenState(name) for name in site_names}
+    hub = HubTokenState()
+
+    schedule = []
+    for index in range(n_ops):
+        roll = rng.random()
+        site = site_names[rng.randrange(3)]
+        if roll < 0.55:
+            op = SetDataOp(plain[rng.randrange(n_keys)], b"")
+        elif roll < 0.75:
+            queue = queues[rng.randrange(len(queues))]
+            op = DeleteOp(f"{queue}/n-{index % 1000:010d}")
+        elif roll < 0.90:
+            queue = queues[rng.randrange(len(queues))]
+            op = CreateOp(f"{queue}/n-", sequential=True)
+        else:
+            schedule.append(("probe", site, plain[rng.randrange(n_keys)]))
+            continue
+        schedule.append(("write", site, op))
+
+    started = time.perf_counter()
+    for kind, site, arg in schedule:
+        state = sites[site]
+        if kind == "probe":
+            hub.where(token_key(arg))
+            continue
+        keys = token_keys(arg)
+        if not state.holds_all(keys):
+            for key in sorted(keys):
+                if state.holds(key):
+                    continue
+                owner = hub.where(key)
+                if owner is not None and owner != site:
+                    other = sites[owner]
+                    other.start_recall(key)
+                    other.release(key)
+                    hub.accept_return(key)
+                hub.grant(key, site)
+                state.grant(key)
+        state.admit(keys)
+        ready = state.retire(keys)
+        for key in sorted(ready):
+            state.release(key)
+            hub.accept_return(key)
+    wall = time.perf_counter() - started
+    return {"ops": n_ops, "wall_s": wall, "ops_per_sec": n_ops / wall}
 
 
 # -- experiment-suite runner benchmark ----------------------------------------
@@ -313,6 +534,11 @@ def calibrate(rounds: int = 3) -> float:
 # -- suite -------------------------------------------------------------------
 
 
+#: Bench names and headline metric per suite.
+_KERNEL_BENCHES = ("kernel", "transport", "ycsb")
+_SERVER_BENCHES = ("datatree", "watches", "tokens")
+
+
 def run_suite(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
     results: Dict[str, Any] = {
         "quick": quick,
@@ -322,6 +548,36 @@ def run_suite(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
         "ycsb": bench_ycsb(quick=quick, seed=seed),
     }
     return results
+
+
+def run_server_suite(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
+    results: Dict[str, Any] = {
+        "quick": quick,
+        "calibration_events_per_sec": calibrate(),
+        "datatree": bench_datatree(quick=quick, seed=seed),
+        "watches": bench_watches(quick=quick, seed=seed),
+        "tokens": bench_tokens(quick=quick, seed=seed),
+    }
+    return results
+
+
+def _format_server_suite(results: Dict[str, Any]) -> str:
+    from repro.experiments.common import format_table
+
+    rows = [
+        [
+            name,
+            results[name]["ops"],
+            f"{results[name]['ops_per_sec']:,.0f}",
+        ]
+        for name in _SERVER_BENCHES
+    ]
+    suffix = " (quick)" if results.get("quick") else ""
+    return format_table(
+        ["bench", "ops", "ops/sec"],
+        rows,
+        title=f"Server-layer (protocol) throughput{suffix}",
+    )
 
 
 def _format_suite(results: Dict[str, Any]) -> str:
@@ -356,13 +612,17 @@ def _format_suite(results: Dict[str, Any]) -> str:
 
 
 def _check(
-    results: Dict[str, Any], baseline: Dict[str, Any]
+    results: Dict[str, Any],
+    baseline: Dict[str, Any],
+    benches: tuple = _KERNEL_BENCHES,
+    metric: str = "events_per_sec",
 ) -> List[str]:
-    """Compare normalized events/sec against a baseline suite result.
+    """Compare normalized throughput against a baseline suite result.
 
     Returns a list of failure messages (empty = pass). Only benches present
     in both results are compared, and the baseline must have been taken at
-    the same size (quick vs full) to be comparable.
+    the same size (quick vs full) to be comparable. Each bench uses its own
+    tolerance (_TOLERANCES, default CHECK_TOLERANCE).
     """
     failures = []
     if bool(baseline.get("quick")) != bool(results.get("quick")):
@@ -374,19 +634,98 @@ def _check(
     cal_now = results["calibration_events_per_sec"]
     cal_base = baseline.get("calibration_events_per_sec")
     scale = (cal_now / cal_base) if cal_base else 1.0
-    for name in ("kernel", "transport", "ycsb"):
+    for name in benches:
         if name not in baseline or name not in results:
             continue
-        measured = results[name]["events_per_sec"]
-        expected = baseline[name]["events_per_sec"] * scale
-        floor = expected * (1.0 - CHECK_TOLERANCE)
+        tolerance = _TOLERANCES.get(name, CHECK_TOLERANCE)
+        measured = results[name][metric]
+        expected = baseline[name][metric] * scale
+        floor = expected * (1.0 - tolerance)
         if measured < floor:
             failures.append(
-                f"{name}: {measured:,.0f} events/sec is more than "
-                f"{CHECK_TOLERANCE:.0%} below the normalized baseline "
+                f"{name}: {measured:,.0f} {metric} is more than "
+                f"{tolerance:.0%} below the normalized baseline "
                 f"{expected:,.0f} (floor {floor:,.0f})"
             )
     return failures
+
+
+def _git_commit() -> str:
+    """Short commit hash for bench-history points ("unknown" off-repo)."""
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except Exception:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def _write_payload(
+    out: str,
+    existing: Dict[str, Any],
+    results: Dict[str, Any],
+    schema: str,
+    benches: tuple,
+    metric: str,
+    label: Optional[str],
+) -> Dict[str, Any]:
+    """Merge a fresh suite run into a BENCH file.
+
+    Keeps the recorded pre-optimization ``before`` section, recomputes
+    per-bench and aggregate (geometric-mean) speedups when both sides are
+    present, and appends one ``{commit, label, <metric>}`` point to the
+    bounded ``history`` trajectory.
+    """
+    payload: Dict[str, Any] = {
+        "schema": schema,
+        "before": existing.get("before"),
+        "after" if not results.get("quick") else "quick_after": results,
+    }
+    for key in ("after", "quick_after"):
+        if key not in payload and key in existing:
+            payload[key] = existing[key]
+    before = payload.get("before")
+    after = payload.get("after")
+    if before and after:
+        speedup = {
+            name: round(after[name][metric] / before[name][metric], 3)
+            for name in benches
+            if name in before and name in after
+        }
+        if speedup:
+            product = 1.0
+            for value in speedup.values():
+                product *= value
+            speedup["aggregate"] = round(product ** (1.0 / len(speedup)), 3)
+        payload["speedup"] = speedup
+    elif "speedup" in existing:
+        payload["speedup"] = existing["speedup"]
+
+    entry: Dict[str, Any] = {
+        "commit": _git_commit(),
+        "quick": bool(results.get("quick")),
+        metric: {
+            name: round(results[name][metric], 1)
+            for name in benches
+            if name in results
+        },
+    }
+    if label:
+        entry["label"] = label
+    history = list(existing.get("history", []))
+    history.append(entry)
+    payload["history"] = history[-HISTORY_LIMIT:]
+
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return payload
 
 
 def _load_bench_file(path: str) -> Optional[Dict[str, Any]]:
@@ -403,6 +742,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--quick", action="store_true", help="reduced sizes (CI smoke run)"
+    )
+    parser.add_argument(
+        "--server",
+        action="store_true",
+        help=(
+            "run the server-layer (protocol/state-machine) microbench group "
+            f"(datatree/watches/tokens) and write {SERVER_BENCH_FILE} instead"
+        ),
+    )
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="name for this run's bench-history point (default: commit only)",
     )
     parser.add_argument(
         "--experiments",
@@ -458,59 +810,50 @@ def main(argv=None) -> int:
             print(f"wrote {out}")
         return 0
 
-    results = run_suite(quick=args.quick, seed=args.seed)
+    if args.server:
+        suite_name = "server"
+        results = run_server_suite(quick=args.quick, seed=args.seed)
+        out = args.out if args.out != BENCH_FILE else SERVER_BENCH_FILE
+        schema = "bench_server/v1"
+        benches: tuple = _SERVER_BENCHES
+        metric = "ops_per_sec"
+        formatted = _format_server_suite(results)
+    else:
+        suite_name = "kernel"
+        results = run_suite(quick=args.quick, seed=args.seed)
+        out = args.out
+        schema = "bench_kernel/v1"
+        benches = _KERNEL_BENCHES
+        metric = "events_per_sec"
+        formatted = _format_suite(results)
 
     if args.check:
-        existing = _load_bench_file(args.out)
+        existing = _load_bench_file(out)
         if not existing:
-            print(f"--check: no baseline file {args.out!r}")
+            print(f"--check: no baseline file {out!r}")
             return 2
         key = "quick_after" if args.quick else "after"
         baseline = existing.get(key)
         if not baseline:
             print(f"--check: baseline file has no {key!r} section")
             return 2
-        failures = _check(results, baseline)
-        print(_format_suite(results))
+        failures = _check(results, baseline, benches=benches, metric=metric)
+        print(formatted)
         if failures:
             for failure in failures:
                 print(f"FAIL {failure}")
             return 1
-        print(f"OK within {CHECK_TOLERANCE:.0%} of committed baseline")
+        print(f"OK: {suite_name} suite within tolerance of committed baseline")
         return 0
 
-    existing = _load_bench_file(args.out) or {}
-    payload = {
-        "schema": "bench_kernel/v1",
-        # Keep the recorded pre-optimization numbers next to current ones.
-        "before": existing.get("before"),
-        "after" if not args.quick else "quick_after": results,
-    }
-    for key in ("after", "quick_after"):
-        if key not in payload and key in existing:
-            payload[key] = existing[key]
-    before = payload.get("before")
-    after = payload.get("after")
-    if before and after:
-        payload["speedup"] = {
-            name: round(
-                after[name]["events_per_sec"] / before[name]["events_per_sec"],
-                3,
-            )
-            for name in ("kernel", "transport", "ycsb")
-            if name in before and name in after
-        }
-    elif "speedup" in existing:
-        payload["speedup"] = existing["speedup"]
-    with open(args.out, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    existing = _load_bench_file(out) or {}
+    _write_payload(out, existing, results, schema, benches, metric, args.label)
 
     if args.json:
         print(json.dumps(results, indent=2))
     else:
-        print(_format_suite(results))
-        print(f"wrote {args.out}")
+        print(formatted)
+        print(f"wrote {out}")
     return 0
 
 

@@ -13,6 +13,9 @@ Subcommands:
   stderr.
 * ``python -m repro cache stats|clear`` — inspect or empty the cache.
 * ``python -m repro bench`` — simulator-throughput benchmarks.
+* ``python -m repro profile <target>`` — cProfile a bench workload or a
+  runner suite; top-N hotspots plus a per-layer tottime rollup
+  (kernel/net/zab/zk/wankeeper/workload), JSON-diffable across PRs.
 * ``python -m repro trace --out FILE`` — run a small traced WanKeeper
   workload (sentinel on) and dump the structured event trace as JSONL.
 * ``python -m repro diff-traces A B`` — first divergence of two JSONL
@@ -356,6 +359,10 @@ def main(argv=None) -> int:
         from repro.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from repro.profiling import main as profile_main
+
+        return profile_main(argv[1:])
     if argv and argv[0] == "experiments":
         return _experiments_main(argv[1:])
     if argv and argv[0] == "cache":

@@ -1,0 +1,374 @@
+"""Profiling harness: ``repro profile <target>``.
+
+Wraps any runner scenario suite or bench workload in :mod:`cProfile` and
+reports where the wall-clock goes, two ways:
+
+* a **top-N hotspot table** (tottime-ordered, like ``pstats``), and
+* a **cumulative-by-module rollup** that buckets every profiled frame
+  into one of the repo's layers — ``kernel`` (sim), ``net``, ``zab``,
+  ``zk``, ``wankeeper``, ``workload`` (workloads/experiments/runner),
+  or ``other`` (stdlib and everything else).
+
+The rollup is the number that matters across PRs: a perf pass aimed at
+the protocol layer should show the zk/wankeeper *share* of tottime
+shrinking while the kernel/net share grows (the substrate becoming the
+bottleneck again). Reports are JSON (``BENCH_profile.json``-style) so
+hotspot shifts are diffable; ``--section before|after`` merges runs into
+one committed artifact the same way ``BENCH_kernel.json`` keeps its
+pre-optimization numbers.
+
+Profiling is observation-only: the simulation under the profiler makes
+exactly the same RNG draws and scheduling decisions as an unprofiled
+run, so seeded history digests are unchanged (tests/test_profile.py
+pins this).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import pstats
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "PROFILE_FILE",
+    "available_targets",
+    "main",
+    "module_group",
+    "profile_callable",
+    "profile_target",
+]
+
+PROFILE_FILE = "BENCH_profile.json"
+
+#: Layer buckets, matched against the path of each profiled code object.
+#: First match wins; anything outside src/repro lands in "other".
+_GROUP_MARKERS: Tuple[Tuple[str, str], ...] = (
+    ("repro/sim/", "kernel"),
+    ("repro/net/", "net"),
+    ("repro/zab/", "zab"),
+    ("repro/zk/", "zk"),
+    ("repro/wankeeper/", "wankeeper"),
+    ("repro/workloads/", "workload"),
+    ("repro/experiments/", "workload"),
+    ("repro/runner/", "workload"),
+    ("repro/scfs/", "workload"),
+    ("repro/consistency/", "workload"),
+    ("repro/", "workload"),
+)
+
+#: Rollup group order for reports (stable, layer-stack order).
+GROUPS = ("kernel", "net", "zab", "zk", "wankeeper", "workload", "other")
+
+
+def module_group(filename: str) -> str:
+    """Map a profiled frame's filename to its layer bucket."""
+    normalized = filename.replace("\\", "/")
+    for marker, group in _GROUP_MARKERS:
+        if marker in normalized:
+            return group
+    return "other"
+
+
+def profile_callable(
+    fn: Callable[[], Any], top: int = 25
+) -> Tuple[Any, Dict[str, Any]]:
+    """Run ``fn`` under cProfile; return ``(fn_result, report_dict)``.
+
+    The report carries the per-module rollup and the top-N hotspots.
+    cProfile observes the interpreter without touching program state, so
+    ``fn``'s result is byte-identical to an unprofiled call.
+    """
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    wall = time.perf_counter() - started
+
+    stats = pstats.Stats(profiler)
+    modules: Dict[str, Dict[str, float]] = {
+        group: {"tottime_s": 0.0, "calls": 0} for group in GROUPS
+    }
+    rows: List[Dict[str, Any]] = []
+    total_tottime = 0.0
+    total_calls = 0
+    for (filename, lineno, funcname), (
+        ccalls,
+        ncalls,
+        tottime,
+        cumtime,
+        _callers,
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        group = module_group(filename)
+        bucket = modules[group]
+        # The rollup sums tottime (exclusive time): summing cumtime over
+        # every frame would double-count nested calls. Per-row cumtime is
+        # still reported in the hotspot table.
+        bucket["tottime_s"] += tottime
+        bucket["calls"] += ncalls
+        total_tottime += tottime
+        total_calls += ncalls
+        rows.append(
+            {
+                "function": funcname,
+                "file": _short_path(filename),
+                "line": lineno,
+                "module": group,
+                "ncalls": ncalls,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            }
+        )
+
+    rows.sort(key=lambda row: (-row["tottime_s"], row["file"], row["line"]))
+    for group in GROUPS:
+        bucket = modules[group]
+        bucket["tottime_s"] = round(bucket["tottime_s"], 6)
+        bucket["tottime_share"] = round(
+            bucket["tottime_s"] / total_tottime, 4
+        ) if total_tottime else 0.0
+
+    protocol = (
+        modules["zab"]["tottime_s"]
+        + modules["zk"]["tottime_s"]
+        + modules["wankeeper"]["tottime_s"]
+    )
+    substrate = modules["kernel"]["tottime_s"] + modules["net"]["tottime_s"]
+    report = {
+        "wall_s": round(wall, 4),
+        "profiled_tottime_s": round(total_tottime, 4),
+        "total_calls": total_calls,
+        "modules": modules,
+        # Headline ratio: protocol-layer time over substrate time. A
+        # protocol-layer perf pass should drive this *down*.
+        "protocol_over_substrate": (
+            round(protocol / substrate, 4) if substrate else None
+        ),
+        "hotspots": rows[:top],
+    }
+    return result, report
+
+
+def _short_path(filename: str) -> str:
+    normalized = filename.replace("\\", "/")
+    marker = "src/repro/"
+    index = normalized.find(marker)
+    if index >= 0:
+        return normalized[index + len("src/") :]
+    if normalized.startswith("~") or normalized.startswith("<"):
+        return normalized
+    return normalized.rsplit("/", 1)[-1]
+
+
+# -- targets ------------------------------------------------------------------
+
+
+_BENCH_TARGETS = ("kernel", "transport", "ycsb")
+
+
+def available_targets() -> List[str]:
+    """Profile targets: bench workloads plus every runner suite."""
+    from repro.runner import SUITES
+
+    return ["bench:" + name for name in _BENCH_TARGETS] + sorted(SUITES)
+
+
+def _target_callable(
+    target: str, small: bool, seed: int
+) -> Callable[[], Any]:
+    """Resolve a target name to a zero-arg callable to profile.
+
+    ``bench:kernel|transport|ycsb`` (bare bench names accepted too) run
+    the corresponding bench workload; any runner suite name (fig4,
+    fig7, ablations, soak, ...) runs every cell of that suite
+    in-process, serially — the same work ``repro experiments <name>
+    --jobs 1`` does, minus rendering.
+    """
+    name = target[len("bench:") :] if target.startswith("bench:") else target
+    if name in _BENCH_TARGETS:
+        from repro import bench
+
+        fn = getattr(bench, f"bench_{name}")
+        if name == "ycsb":
+            return lambda: fn(quick=small, seed=seed)
+        return lambda: fn(quick=small)
+
+    from repro.runner import SUITES, build_suite
+    from repro.runner.cells import run_cell
+
+    if name not in SUITES:
+        raise KeyError(
+            f"unknown profile target {target!r} "
+            f"(available: {', '.join(available_targets())})"
+        )
+    scenarios = build_suite(name, small, seed)
+
+    def run_suite_cells() -> Dict[str, Any]:
+        return {
+            scenario.digest(): run_cell(scenario) for scenario in scenarios
+        }
+
+    return run_suite_cells
+
+
+def profile_target(
+    target: str, small: bool = False, seed: int = 42, top: int = 25
+) -> Dict[str, Any]:
+    """Profile one target and return its JSON-plain report."""
+    fn = _target_callable(target, small, seed)
+    _result, report = profile_callable(fn, top=top)
+    report = {
+        "target": target,
+        "small": small,
+        "seed": seed,
+        **report,
+    }
+    return report
+
+
+# -- report rendering / file merge --------------------------------------------
+
+
+def _format_report(report: Dict[str, Any], top: int) -> str:
+    from repro.experiments.common import format_table
+
+    lines = []
+    module_rows = []
+    for group in GROUPS:
+        bucket = report["modules"][group]
+        module_rows.append(
+            [
+                group,
+                f"{bucket['tottime_s']:.3f}",
+                f"{bucket['tottime_share']:.1%}",
+                f"{bucket['calls']:,}",
+            ]
+        )
+    lines.append(
+        format_table(
+            ["layer", "tottime s", "share", "calls"],
+            module_rows,
+            title=(
+                f"{report['target']}"
+                f"{' (small)' if report.get('small') else ''}: "
+                f"{report['wall_s']:.2f}s wall, "
+                f"protocol/substrate "
+                f"{report['protocol_over_substrate']}"
+            ),
+        )
+    )
+    hot_rows = [
+        [
+            f"{row['file']}:{row['line']}",
+            row["function"],
+            f"{row['ncalls']:,}",
+            f"{row['tottime_s']:.3f}",
+            f"{row['cumtime_s']:.3f}",
+        ]
+        for row in report["hotspots"][:top]
+    ]
+    lines.append(
+        format_table(
+            ["location", "function", "ncalls", "tottime s", "cumtime s"],
+            hot_rows,
+            title=f"top {len(hot_rows)} hotspots by tottime",
+        )
+    )
+    return "\n".join(lines)
+
+
+def _merge_profile_file(
+    path: str, section: str, report: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Insert ``report`` under ``payload[section][target]``, keeping the
+    other section (before/after) and other targets intact."""
+    import os
+
+    payload: Dict[str, Any] = {"schema": "bench_profile/v1"}
+    if os.path.exists(path):
+        with open(path) as handle:
+            existing = json.load(handle)
+        for key in ("before", "after"):
+            if key in existing:
+                payload[key] = existing[key]
+    payload.setdefault(section, {})[report["target"]] = report
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return payload
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description=(
+            "Profile a bench workload or runner suite under cProfile and "
+            "report top hotspots plus a per-layer (kernel/net/zab/zk/"
+            "wankeeper/workload) rollup of tottime."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        help=(
+            "what to profile: bench:kernel, bench:transport, bench:ycsb, "
+            "or any runner suite (fig4..fig10, ablations, soak)"
+        ),
+    )
+    parser.add_argument(
+        "--small", action="store_true", help="reduced sizes (quick look)"
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--top", type=int, default=25, help="hotspot rows to keep (default 25)"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    parser.add_argument(
+        "--out",
+        default=PROFILE_FILE,
+        help=f"merge the report into this JSON file (default {PROFILE_FILE})",
+    )
+    parser.add_argument(
+        "--section",
+        choices=("before", "after"),
+        default="after",
+        help="which section of the profile file to write (default after)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print only; do not touch the profile file",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = profile_target(
+            args.target, small=args.small, seed=args.seed, top=args.top
+        )
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(_format_report(report, args.top))
+    if not args.no_write:
+        _merge_profile_file(args.out, args.section, report)
+        print(f"wrote {args.out} [{args.section}][{args.target}]")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

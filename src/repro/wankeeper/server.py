@@ -703,25 +703,31 @@ class WanKeeperServer(ZkServer):
         if not self.peer.is_leader:
             return
         # ---- leader-only post-commit duties ----
+        serialized_at = wan_txn.serialized_at
         if self.is_hub_site:
-            if wan_txn.serialized_at == HUB:
+            if serialized_at == HUB:
+                inflight = self._inflight_hub_keys
                 for key in token_keys(wan_txn.txn.op):
-                    count = self._inflight_hub_keys.get(key, 0) - 1
+                    count = inflight.get(key, 0) - 1
                     if count > 0:
-                        self._inflight_hub_keys[key] = count
+                        inflight[key] = count
                     else:
-                        self._inflight_hub_keys.pop(key, None)
-            if wan_txn.serialized_at not in (HUB, self.site):
-                self._ack_site(wan_txn.serialized_at)
+                        inflight.pop(key, None)
+            if serialized_at not in (HUB, self.site):
+                self._ack_site(serialized_at)
                 # Replicated local commits feed the learning policies (the
                 # broker's access log covers migrated-token activity too).
-                for key in sorted(token_keys(wan_txn.txn.op)):
-                    self._policy.observe(key, wan_txn.serialized_at)
+                # Nearly every op needs exactly one token; skip the sort
+                # allocation for that case.
+                keys = token_keys(wan_txn.txn.op)
+                ordered = keys if len(keys) == 1 else sorted(keys)
+                for key in ordered:  # lint: iteration-order-ok (single element or sorted)
+                    self._policy.observe(key, serialized_at)
             self._flush_relays()
             self._hub_pump()
             self._pump_lease_reads()
         else:
-            if wan_txn.serialized_at == self.site:
+            if serialized_at == self.site:
                 ready = self.site_tokens.retire(token_keys(wan_txn.txn.op))
                 if ready:
                     self._release_keys(ready)

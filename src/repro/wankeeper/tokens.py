@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, Optional, Set
 
 from repro.zk.ops import (
@@ -38,11 +39,16 @@ _SEQUENTIAL_SUFFIX = re.compile(r"\d{10}$")
 AT_HUB = None
 
 
+@lru_cache(maxsize=65536)
 def token_key(path: str) -> str:
     """The token protecting ``path``.
 
     Paths that look like sequential znodes (10-digit suffix) are protected
     by their parent's bulk token; every other path is its own token.
+
+    Pure function of the path, memoized: brokers resolve the same paths on
+    every admit/retire/recall, and the regex probe was measurable there.
+    The bound only caps memory on soaks with unbounded fresh paths.
     """
     if path != "/" and _SEQUENTIAL_SUFFIX.search(path.rpartition("/")[2]):
         return parent_of(path)
@@ -99,12 +105,23 @@ class SiteTokenState:
         return key in self.owned and key not in self.outgoing
 
     def holds_all(self, keys: Iterable[str]) -> bool:
-        return all(self.holds(key) for key in keys)
+        owned = self.owned
+        outgoing = self.outgoing
+        return all(key in owned and key not in outgoing for key in keys)
 
     def admit(self, keys: Iterable[str]) -> None:
         """Count an admitted-but-uncommitted local txn against its keys."""
+        inflight = self.inflight
+        # Nearly every write needs exactly one token; sorting a 1-element
+        # set allocated a list per admitted txn. The multi-key path keeps
+        # the sorted order (per-key effects are independent, but pinned
+        # order keeps any downstream observation deterministic).
+        if len(keys) == 1:
+            for key in keys:  # lint: iteration-order-ok (single element)
+                inflight[key] = inflight.get(key, 0) + 1
+            return
         for key in sorted(keys):
-            self.inflight[key] = self.inflight.get(key, 0) + 1
+            inflight[key] = inflight.get(key, 0) + 1
 
     def retire(self, keys: Iterable[str]) -> Set[str]:
         """A local txn committed: release inflight counts.
@@ -113,14 +130,17 @@ class SiteTokenState:
         caller must release them back to the hub.
         """
         ready: Set[str] = set()
-        for key in sorted(keys):
-            remaining = self.inflight.get(key, 0) - 1
+        inflight = self.inflight
+        outgoing = self.outgoing
+        ordered = keys if len(keys) == 1 else sorted(keys)
+        for key in ordered:  # lint: iteration-order-ok (single element or sorted)
+            remaining = inflight.get(key, 0) - 1
             if remaining <= 0:
-                self.inflight.pop(key, None)
-                if key in self.outgoing:
+                inflight.pop(key, None)
+                if key in outgoing:
                     ready.add(key)
             else:
-                self.inflight[key] = remaining
+                inflight[key] = remaining
         return ready
 
     def grant(self, key: str) -> None:

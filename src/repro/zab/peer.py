@@ -149,11 +149,15 @@ class ZabPeer:
         # Recently proposed/forwarded txn ids (duplicate suppression for
         # retransmitted SubmitRequests under lossy links).
         self._recent_submits: "OrderedDict[Tuple[Any, ...], None]" = OrderedDict()
-        # Always iterate these sorted(): raw set order is string hash
-        # order, which varies per interpreter (PYTHONHASHSEED) and would
-        # leak into the shared network jitter RNG's draw order.
+        # Never iterate these sets raw: set order is string hash order,
+        # which varies per interpreter (PYTHONHASHSEED) and would leak
+        # into the shared network jitter RNG's draw order. Fan-out loops
+        # use the _fanout_* tuples below — sorted once per membership
+        # change instead of per proposal/commit/tick.
         self._active_followers: Set[NodeAddress] = set()
         self._active_observers: Set[NodeAddress] = set()
+        self._fanout_followers: Tuple[NodeAddress, ...] = ()
+        self._fanout_observers: Tuple[NodeAddress, ...] = ()
         self._discovery_epochs: Dict[NodeAddress, int] = {}
         self._synced_to: Dict[NodeAddress, Zxid] = {}
         self._newleader_acks: Set[NodeAddress] = set()
@@ -294,6 +298,8 @@ class ZabPeer:
         self._recent_submits = OrderedDict()
         self._active_followers = set()
         self._active_observers = set()
+        self._fanout_followers = ()
+        self._fanout_observers = ()
         self._discovery_epochs = {}
         self._synced_to = {}
         self._newleader_acks = set()
@@ -327,9 +333,9 @@ class ZabPeer:
             self._broadcast_vote()
         elif self.state == PeerState.LEADING:
             ping = Ping(self.addr, self.current_epoch, self.last_committed)
-            for member in sorted(self._active_followers):
+            for member in self._fanout_followers:
                 self._send(member, ping)
-            for member in sorted(self._active_observers):
+            for member in self._fanout_observers:
                 self._send(member, ping)
             if self._broadcast_active:
                 self._retransmit_pending()
@@ -576,8 +582,10 @@ class ZabPeer:
             # Join the recipient sets now; ship the in-flight tail.
             if self.config.is_observer(follower):
                 self._active_observers.add(follower)
+                self._fanout_observers = tuple(sorted(self._active_observers))
             else:
                 self._active_followers.add(follower)
+                self._fanout_followers = tuple(sorted(self._active_followers))
             self._catch_up(follower)
 
     def _catch_up(self, member: NodeAddress) -> None:
@@ -674,8 +682,10 @@ class ZabPeer:
     def _activate_member(self, member: NodeAddress) -> None:
         if self.config.is_observer(member):
             self._active_observers.add(member)
+            self._fanout_observers = tuple(sorted(self._active_observers))
         else:
             self._active_followers.add(member)
+            self._fanout_followers = tuple(sorted(self._active_followers))
         # Ship anything proposed/committed since the member's sync point
         # (it may have synced during establishment and activated later).
         self._catch_up(member)
@@ -705,7 +715,7 @@ class ZabPeer:
         self._acks[zxid] = {self.addr}
         self._proposed_at[zxid] = self.env.now
         message = Propose(self.addr, zxid, txn)
-        for follower in sorted(self._active_followers):
+        for follower in self._fanout_followers:
             self._send(follower, message)
         self._maybe_commit()
         return zxid
@@ -736,7 +746,7 @@ class ZabPeer:
             self._proposed_at[zxid] = now
             message = Propose(self.addr, zxid, entry.txn)
             acked = self._acks.get(zxid, set())
-            for follower in sorted(self._active_followers):
+            for follower in self._fanout_followers:
                 if follower not in acked:
                     self._send(follower, message)
                     self.proposals_retransmitted += 1
@@ -819,9 +829,9 @@ class ZabPeer:
         self.last_committed = zxid
         self._apply_up_to(zxid)
         commit = Commit(self.addr, zxid)
-        for follower in sorted(self._active_followers):
+        for follower in self._fanout_followers:
             self._send(follower, commit)
-        for observer in sorted(self._active_observers):
+        for observer in self._fanout_observers:
             for entry in committed:
                 self._send(observer, Inform(self.addr, entry.zxid, entry.txn))
 

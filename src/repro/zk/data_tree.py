@@ -78,6 +78,11 @@ class DataTree:
         )
         # session_id -> set of ephemeral paths (derived cache; rebuilt on reset)
         self._ephemerals: Dict[str, set] = {}
+        # Dirty-flag caches for the sorted views reads hand out. Any
+        # mutation of the node map drops _sorted_paths; any mutation of a
+        # session's ephemeral set drops that session's entry.
+        self._sorted_paths: Optional[List[str]] = None
+        self._ephemerals_sorted: Dict[str, List[str]] = {}
 
     # -- reads (local, never replicated) ------------------------------------
 
@@ -104,13 +109,34 @@ class DataTree:
         node = self._nodes.get(path)
         if node is None:
             raise NoNodeError(path)
-        return sorted(node.children)
+        # Copy of the node's cached sorted list: callers (and ultimately
+        # clients) may mutate the returned list.
+        return list(node.sorted_children())
+
+    def child_count(self, path: str) -> int:
+        """Number of children without materializing the sorted list.
+
+        Quota/num_children-style checks should use this instead of
+        ``len(get_children(path))``.
+        """
+        node = self._nodes.get(path)
+        if node is None:
+            raise NoNodeError(path)
+        return len(node.children)
 
     def ephemerals_of(self, session_id: str) -> List[str]:
-        return sorted(self._ephemerals.get(session_id, ()))
+        cached = self._ephemerals_sorted.get(session_id)
+        if cached is None:
+            cached = self._ephemerals_sorted[session_id] = sorted(
+                self._ephemerals.get(session_id, ())
+            )
+        return list(cached)
 
     def paths(self) -> List[str]:
-        return sorted(self._nodes)
+        cached = self._sorted_paths
+        if cached is None:
+            cached = self._sorted_paths = sorted(self._nodes)
+        return list(cached)
 
     # -- writes --------------------------------------------------------------
 
@@ -164,11 +190,14 @@ class DataTree:
             ephemeral_owner=owner,
         )
         self._nodes[actual_path] = node
+        self._sorted_paths = None
         parent.children.add(basename(actual_path))
         parent.cversion += 1
         parent.pzxid = zxid
+        parent.invalidate()
         if owner is not None:
             self._ephemerals.setdefault(owner, set()).add(actual_path)
+            self._ephemerals_sorted.pop(owner, None)
         events = [
             WatchEvent(WatchType.NODE_CREATED, actual_path),
             WatchEvent(WatchType.NODE_CHILDREN_CHANGED, parent_path),
@@ -193,16 +222,19 @@ class DataTree:
 
     def _remove_node(self, node: Znode, zxid: Zxid) -> None:
         del self._nodes[node.path]
+        self._sorted_paths = None
         parent = self._nodes[parent_of(node.path)]
         parent.children.discard(basename(node.path))
         parent.cversion += 1
         parent.pzxid = zxid
+        parent.invalidate()
         if node.ephemeral_owner is not None:
             owned = self._ephemerals.get(node.ephemeral_owner)
             if owned is not None:
                 owned.discard(node.path)
                 if not owned:
                     del self._ephemerals[node.ephemeral_owner]
+            self._ephemerals_sorted.pop(node.ephemeral_owner, None)
 
     def _apply_set_data(self, op: SetDataOp, zxid: Zxid) -> ApplyOutcome:
         node = self._nodes.get(op.path)
@@ -213,6 +245,7 @@ class DataTree:
         node.data = op.data
         node.version += 1
         node.mzxid = zxid
+        node.invalidate()
         events = [WatchEvent(WatchType.NODE_DATA_CHANGED, op.path)]
         return ApplyOutcome(ok=True, value=node.stat(), events=events)
 
@@ -288,6 +321,8 @@ class DataTree:
         copy._ephemerals = {
             session: set(paths) for session, paths in self._ephemerals.items()
         }
+        copy._sorted_paths = None
+        copy._ephemerals_sorted = {}
         return copy
 
     def fingerprint(self) -> int:

@@ -127,6 +127,12 @@ class Znode:
         "children",
         # Monotonic counter for naming sequential children.
         "sequence",
+        # Dirty-flag caches, rebuilt lazily and dropped by invalidate():
+        # the Stat returned by reads and the sorted children list. Every
+        # mutation site in DataTree calls invalidate() on the touched
+        # node(s); stale values here would leak old metadata to readers.
+        "_stat",
+        "_sorted_children",
     )
 
     def __init__(
@@ -152,6 +158,8 @@ class Znode:
         self.ephemeral_owner = ephemeral_owner
         self.children = set() if children is None else children
         self.sequence = sequence
+        self._stat = None
+        self._sorted_children = None
 
     def __repr__(self) -> str:
         return (
@@ -167,14 +175,39 @@ class Znode:
     def is_ephemeral(self) -> bool:
         return self.ephemeral_owner is not None
 
+    def invalidate(self) -> None:
+        """Drop cached Stat/sorted-children after any field mutation."""
+        self._stat = None
+        self._sorted_children = None
+
     def stat(self) -> Stat:
-        return Stat(
-            czxid=self.czxid,
-            mzxid=self.mzxid,
-            pzxid=self.pzxid,
-            version=self.version,
-            cversion=self.cversion,
-            ephemeral_owner=self.ephemeral_owner,
-            data_length=len(self.data),
-            num_children=len(self.children),
-        )
+        """This node's Stat; cached until the next mutation.
+
+        Stat is immutable, so handing the same instance to every reader
+        between mutations is safe — and reads outnumber writes enough
+        that the per-read allocation was measurable in profiles.
+        """
+        stat = self._stat
+        if stat is None:
+            stat = self._stat = Stat(
+                czxid=self.czxid,
+                mzxid=self.mzxid,
+                pzxid=self.pzxid,
+                version=self.version,
+                cversion=self.cversion,
+                ephemeral_owner=self.ephemeral_owner,
+                data_length=len(self.data),
+                num_children=len(self.children),
+            )
+        return stat
+
+    def sorted_children(self) -> list:
+        """Sorted child names; cached until the next child-set mutation.
+
+        Callers must copy before handing the list to anything that may
+        mutate it (DataTree.get_children does).
+        """
+        cached = self._sorted_children
+        if cached is None:
+            cached = self._sorted_children = sorted(self.children)
+        return cached

@@ -414,15 +414,19 @@ class ZkServer:
         """
         key = (txn.session_id, txn.cxid)
         self._inflight_txns.pop(key, None)
-        if self.reply_cache_enabled and key in self._reply_cache:
-            self.duplicate_commits_suppressed += 1
-            if self._trace is not None:
-                self._trace.emit(self.env.now, "zk", "dup-suppressed",
-                                 self.name,
-                                 {"session": txn.session_id,
-                                  "cxid": txn.cxid})
-            self._reply_from_cache(key)
-            return None
+        if self.reply_cache_enabled:
+            cached = self._reply_cache.get(key)
+            if cached is not None:
+                self.duplicate_commits_suppressed += 1
+                if self._trace is not None:
+                    self._trace.emit(self.env.now, "zk", "dup-suppressed",
+                                     self.name,
+                                     {"session": txn.session_id,
+                                      "cxid": txn.cxid})
+                client = self._pending_writes.pop(key, None)
+                if client is not None:
+                    self.net.send(self.client_addr, client, cached)
+                return None
         if isinstance(txn.op, CloseSessionOp):
             self._closing.discard(txn.op.session_id)
             # If the closed session is hosted here, retire it *before*
@@ -459,8 +463,12 @@ class ZkServer:
         return self.tree.apply(txn.op, zxid, txn.session_id)
 
     def _fire_watches(self, outcome: ApplyOutcome) -> None:
-        for event in outcome.events:
-            for session_id, fired in self.watches.trigger(event):
+        events = outcome.events
+        if not events:
+            return
+        trigger = self.watches.trigger
+        for event in events:
+            for session_id, fired in trigger(event):
                 session = self.sessions.get(session_id)
                 if session is not None and not session.expired:
                     if self._trace is not None:
@@ -496,13 +504,6 @@ class ZkServer:
         if client is None:
             return  # system txn or a retry the client abandoned
         self.net.send(self.client_addr, client, reply)
-
-    def _reply_from_cache(self, key: Tuple[str, int]) -> None:
-        """Answer a still-waiting client from the cached first reply."""
-        client = self._pending_writes.pop(key, None)
-        if client is None:
-            return
-        self.net.send(self.client_addr, client, self._reply_cache[key])
 
     def _on_tree_reset(self, _peer: ZabPeer) -> None:
         """SNAP sync rewrote the log: rebuild the tree from zero.

@@ -8,13 +8,11 @@ the session's ephemeral nodes everywhere.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 __all__ = ["Session", "SessionTracker"]
 
 
-@dataclass
 class Session:
     """One client session.
 
@@ -22,13 +20,42 @@ class Session:
     ``now - last_heard <= timeout_ms``, so a heartbeat landing exactly at
     the timeout keeps it alive. Expiry requires strictly more than
     ``timeout_ms`` of silence.
+
+    Hand-written ``__slots__`` class: ``last_heard``/``expired`` are
+    touched on every client request and every ticker pass.
     """
 
-    session_id: str
-    client: Any  # NodeAddress
-    timeout_ms: float
-    last_heard: float
-    expired: bool = False
+    __slots__ = ("session_id", "client", "timeout_ms", "last_heard", "expired")
+
+    def __init__(
+        self,
+        session_id: str,
+        client: Any,  # NodeAddress
+        timeout_ms: float,
+        last_heard: float,
+        expired: bool = False,
+    ):
+        self.session_id = session_id
+        self.client = client
+        self.timeout_ms = timeout_ms
+        self.last_heard = last_heard
+        self.expired = expired
+
+    def _astuple(self) -> tuple:
+        return (self.session_id, self.client, self.timeout_ms,
+                self.last_heard, self.expired)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Session:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(session_id={self.session_id!r}, client={self.client!r}, "
+            f"timeout_ms={self.timeout_ms!r}, last_heard={self.last_heard!r}, "
+            f"expired={self.expired!r})"
+        )
 
 
 class SessionTracker:
@@ -83,6 +110,8 @@ class SessionTracker:
         inclusive timeout): a session whose last heartbeat landed exactly
         ``timeout_ms`` ago is still alive.
         """
+        if not self._sessions:
+            return []
         return [
             session
             for session in self._sessions.values()

@@ -1,0 +1,148 @@
+"""Tests for the ``repro profile`` harness (src/repro/profiling.py).
+
+Pins three properties:
+
+* the report shape — per-module rollup over the repo's layer buckets,
+  shares that sum to one, tottime-ordered hotspots, JSON-plain;
+* the file-merge semantics of ``--section before|after``;
+* observation-only profiling — running a seeded workload under cProfile
+  yields the exact same client-visible history as an unprofiled run.
+"""
+
+import json
+
+import pytest
+
+from repro.profiling import (
+    GROUPS,
+    available_targets,
+    module_group,
+    profile_callable,
+    profile_target,
+)
+from repro import profiling
+
+
+def test_module_group_buckets():
+    assert module_group("/x/src/repro/sim/kernel.py") == "kernel"
+    assert module_group("/x/src/repro/net/transport.py") == "net"
+    assert module_group("/x/src/repro/zab/peer.py") == "zab"
+    assert module_group("/x/src/repro/zk/data_tree.py") == "zk"
+    assert module_group("/x/src/repro/wankeeper/server.py") == "wankeeper"
+    assert module_group("/x/src/repro/workloads/driver.py") == "workload"
+    assert module_group("/x/src/repro/runner/cells.py") == "workload"
+    assert module_group("/x/src/repro/bench.py") == "workload"
+    assert module_group("/usr/lib/python3.11/json/encoder.py") == "other"
+    # Windows-style separators normalize to the same buckets.
+    assert module_group("C:\\x\\src\\repro\\zk\\records.py") == "zk"
+
+
+def test_profile_callable_returns_result_and_report():
+    def work():
+        return sum(i * i for i in range(2000))
+
+    result, report = profile_callable(work, top=5)
+    assert result == sum(i * i for i in range(2000))
+    assert set(report["modules"]) == set(GROUPS)
+    shares = [report["modules"][g]["tottime_share"] for g in GROUPS]
+    assert abs(sum(shares) - 1.0) < 0.01
+    assert len(report["hotspots"]) <= 5
+    tottimes = [row["tottime_s"] for row in report["hotspots"]]
+    assert tottimes == sorted(tottimes, reverse=True)
+
+
+def test_available_targets_cover_benches_and_suites():
+    targets = available_targets()
+    assert "bench:kernel" in targets
+    assert "bench:ycsb" in targets
+    assert "fig4" in targets
+
+
+def test_unknown_target_raises_with_listing():
+    with pytest.raises(KeyError):
+        profiling._target_callable("no-such-suite", small=True, seed=1)
+
+
+def test_profile_target_small_ycsb_report_is_json_plain():
+    report = profile_target("bench:ycsb", small=True, seed=4242, top=10)
+    # Full stack ran: every protocol layer appears in the rollup.
+    assert report["target"] == "bench:ycsb"
+    for group in ("kernel", "net", "zab", "zk"):
+        assert report["modules"][group]["tottime_s"] >= 0.0
+        assert report["modules"][group]["calls"] > 0
+    assert report["protocol_over_substrate"] is not None
+    assert report["protocol_over_substrate"] > 0
+    # Diffable artifact: round-trips through JSON without custom encoders.
+    decoded = json.loads(json.dumps(report))
+    assert decoded["modules"].keys() == report["modules"].keys()
+
+
+def test_merge_profile_file_keeps_other_section(tmp_path):
+    out = tmp_path / "BENCH_profile.json"
+    before = {"target": "bench:ycsb", "wall_s": 1.0}
+    after = {"target": "bench:ycsb", "wall_s": 0.5}
+    other = {"target": "fig4", "wall_s": 9.0}
+    profiling._merge_profile_file(str(out), "before", before)
+    profiling._merge_profile_file(str(out), "before", other)
+    payload = profiling._merge_profile_file(str(out), "after", after)
+    assert payload["schema"] == "bench_profile/v1"
+    assert payload["before"]["bench:ycsb"]["wall_s"] == 1.0
+    assert payload["before"]["fig4"]["wall_s"] == 9.0
+    assert payload["after"]["bench:ycsb"]["wall_s"] == 0.5
+    on_disk = json.loads(out.read_text())
+    assert on_disk == payload
+
+
+def test_cli_no_write_leaves_file_alone(tmp_path, capsys):
+    out = tmp_path / "profile.json"
+    rc = profiling.main(
+        ["bench:kernel", "--small", "--no-write", "--json",
+         "--out", str(out)]
+    )
+    assert rc == 0
+    assert not out.exists()
+    report = json.loads(capsys.readouterr().out)
+    assert report["target"] == "bench:kernel"
+
+
+def test_cli_unknown_target_fails_cleanly(capsys):
+    rc = profiling.main(["bench:nope", "--no-write"])
+    assert rc == 2
+    assert "unknown profile target" in capsys.readouterr().out
+
+
+def _small_history(profiled):
+    """Client-visible history of a tiny seeded YCSB run, optionally under
+    the profiler. Mirrors tests/test_perf_golden.py::history_digest."""
+    from repro.experiments.common import build_world
+    from repro.sim import seeded_rng
+    from repro.workloads.driver import ClientPlan, YcsbSpec, run_ycsb
+    from repro.workloads.stats import LatencyRecorder
+
+    def run():
+        world = build_world("zk", seed=99)
+        spec = YcsbSpec(record_count=20, operation_count=80, write_fraction=0.5)
+        plans = [
+            ClientPlan(
+                world.client("virginia"),
+                seeded_rng(99, "client0"),
+                LatencyRecorder("virginia"),
+            )
+        ]
+        run_ycsb(world.env, plans, spec)
+        return [
+            (s.kind, repr(s.start), repr(s.latency), s.ok)
+            for s in plans[0].recorder.samples
+        ]
+
+    if profiled:
+        result, _report = profile_callable(run)
+        return result
+    return run()
+
+
+def test_profiling_does_not_perturb_seeded_history():
+    # cProfile observes the interpreter without changing RNG draws or
+    # event ordering: the histories must be identical element-for-element
+    # (including repr'd start/latency floats).
+    assert _small_history(profiled=False) == _small_history(profiled=True)
