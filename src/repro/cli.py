@@ -363,6 +363,10 @@ def main(argv=None) -> int:
         from repro.profiling import main as profile_main
 
         return profile_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        from repro.fuzz.cli import main as fuzz_main
+
+        return fuzz_main(argv[1:])
     if argv and argv[0] == "experiments":
         return _experiments_main(argv[1:])
     if argv and argv[0] == "cache":

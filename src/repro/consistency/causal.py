@@ -14,7 +14,12 @@ history is the standard two-part formulation:
 Writes to each key are assumed uniquely valued (our drivers tag values), so
 reads-from edges are unambiguous. The per-key arbitration order defaults to
 real-time write order — valid in these systems because writes to one key
-are serialized by a single token holder at a time.
+are serialized by a single token holder at a time. Crucially that default
+is a *partial* order: a write is provably newer than another only when it
+began after the other completed. Two overlapping writes (e.g. a slow
+retried write straddling a fast one) may legally commit in either order,
+so the checker draws no conclusion from them; pass ``key_write_orders``
+with the true commit order to totally order such pairs.
 """
 
 from __future__ import annotations
@@ -68,7 +73,7 @@ def check_causal(
         violations.append("cycle in program-order + reads-from")
         return violations
 
-    # --- arbitration order per key ------------------------------------------
+    # --- arbitration order per key (explicit total orders only) --------------
     orders = key_write_orders or {}
     arb_rank: Dict[Tuple[str, Any], int] = {}
     by_key_writes: Dict[str, List[Operation]] = {}
@@ -81,34 +86,47 @@ def check_causal(
             ordered = sorted(
                 writes, key=lambda op: ranked.get(op.value, len(ranked))
             )
-        else:
-            ordered = sorted(writes, key=lambda op: (op.invoked, op.op_id))
-        for rank, write in enumerate(ordered):
-            arb_rank[(key, write.value)] = rank
+            for rank, write in enumerate(ordered):
+                arb_rank[(key, write.value)] = rank
 
     # --- reachability over co (small histories: per-node BFS) ----------------
     reach = _reachability(successors)
 
     # --- rule 2: reads must not miss causally-preceding newer writes ---------
-    by_id = {op.op_id: op for op in ops}
     for read in ops:
         if read.kind != "read":
             continue
-        read_rank = (
-            -1
-            if read.value is None
-            else arb_rank.get((read.key, read.value), -1)
+        writer = (
+            writes_by_value.get((read.key, read.value))
+            if read.value is not None
+            else None
         )
         for write in by_key_writes.get(read.key, ()):
-            if read.op_id in reach.get(write.op_id, ()):  # write co-> read
-                write_rank = arb_rank[(write.key, write.value)]
-                if write_rank > read_rank:
-                    violations.append(
-                        f"{read.client} read {read.value!r} from {read.key} "
-                        f"(rank {read_rank}) but causally saw write "
-                        f"{write.value!r} (rank {write_rank})"
-                    )
-                    break
+            if read.op_id not in reach.get(write.op_id, ()):
+                continue  # not causally before this read
+            if writer is not None and write.op_id == writer.op_id:
+                continue  # the read returned this very write
+            if writer is None:
+                # Read returned the initial value (or an unwritten one, both
+                # flagged above) despite causally knowing a write: a miss
+                # under any arbitration.
+                missed = True
+            elif read.key in orders:
+                missed = (
+                    arb_rank[(write.key, write.value)]
+                    > arb_rank[(read.key, read.value)]
+                )
+            else:
+                # Real-time arbitration is partial: the causally-seen write
+                # is provably newer only if it began after the read's write
+                # completed. Overlapping writes may commit in either order.
+                missed = write.invoked > writer.completed
+            if missed:
+                violations.append(
+                    f"{read.client} read {read.value!r} from {read.key} "
+                    f"but causally saw newer write {write.value!r}"
+                )
+                break
     return violations
 
 

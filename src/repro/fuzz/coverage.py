@@ -1,0 +1,76 @@
+"""The fuzzer's coverage signal: trace-event kinds and kind transitions.
+
+Protocol behavior in this codebase is legible through the structured
+trace: every interesting state change (zab elections, commits, token
+grants/recalls, lease grants, nemesis injections) emits a
+``(cat, kind)`` event. A case's coverage is therefore:
+
+* the set of ``cat:kind`` tokens it exercised, and
+* the set of consecutive pairs ``a>b`` (transitions) — the cheap,
+  order-sensitive analogue of AFL's edge coverage. A crash *during* a
+  token recall produces ``wan:token-recall>nemesis:crash``, which no
+  fault-free run ever shows, so schedules reaching novel interleavings
+  score as novel even when the kind set is saturated.
+
+Campaigns keep a :class:`CoverageMap` and reward mutated seeds that add
+tokens to it; the accumulation order is the scenario-list order, never
+the completion order, so reports are identical at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["CoverageMap", "case_coverage"]
+
+
+def case_coverage(events: Sequence[Tuple]) -> Dict[str, List[str]]:
+    """Coverage of one run, from trace-event tuples.
+
+    Accepts the tuples of :meth:`repro.trace.TraceBuffer.events`
+    (``(seq, t, cat, kind, node, detail)``). Returns sorted, de-duplicated
+    ``kinds`` and ``transitions`` lists (JSON-plain, deterministic).
+    """
+    kinds: Set[str] = set()
+    transitions: Set[str] = set()
+    previous = None
+    for event in events:
+        token = f"{event[2]}:{event[3]}"
+        kinds.add(token)
+        if previous is not None:
+            transitions.add(f"{previous}>{token}")
+        previous = token
+    return {"kinds": sorted(kinds), "transitions": sorted(transitions)}
+
+
+class CoverageMap:
+    """Accumulated coverage across a campaign."""
+
+    def __init__(self) -> None:
+        self.kinds: Set[str] = set()
+        self.transitions: Set[str] = set()
+
+    def observe(self, coverage: Dict[str, Any]) -> int:
+        """Fold one case's coverage in; returns how many tokens were new.
+
+        The return value is the seed's *energy* — corpus entries with
+        positive energy are the mutation targets.
+        """
+        new = 0
+        for token in coverage.get("kinds", ()):
+            if token not in self.kinds:
+                self.kinds.add(token)
+                new += 1
+        for token in coverage.get("transitions", ()):
+            if token not in self.transitions:
+                self.transitions.add(token)
+                new += 1
+        return new
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-plain summary for campaign reports."""
+        return {
+            "kinds": len(self.kinds),
+            "transitions": len(self.transitions),
+            "kind_tokens": sorted(self.kinds),
+        }

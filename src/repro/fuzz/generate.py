@@ -1,0 +1,242 @@
+"""Seeded generation and mutation of fuzz-case specs.
+
+Every random dimension draws from its own named substream of the
+campaign seed (:func:`repro.sim.rng.seeded_rng`), keyed as
+``case{i}:<dimension>`` — and, inside the schedule, per fault kind as
+``case{i}:schedule:<kind>``. Two campaign properties fall out:
+
+* **Stability** — adding a new fault kind (or making one kind draw more
+  numbers) changes only that kind's entries; every other kind's entries,
+  the topology, and the workload of every previously generated case stay
+  bit-identical. Regression seeds keep meaning the same case forever.
+* **Determinism** — the same ``(campaign_seed, index)`` always produces
+  the same spec, with no dependence on generation order or process count.
+
+Mutation (the coverage-feedback path) is seeded the same way, from the
+campaign seed plus a caller-chosen salt.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional
+
+from repro.fuzz.spec import SPEC_VERSION, canonical_spec
+from repro.sim.rng import seeded_rng
+
+__all__ = ["generate_case", "mutate"]
+
+#: (kind, max entries per case). Order is documentation only — each kind
+#: draws from its own substream, so reordering this table is a no-op.
+FAULT_KIND_BUDGET = (
+    ("crash", 3),
+    ("partition", 2),
+    ("oneway-partition", 2),
+    ("flaky-link", 2),
+    ("gray-degrade", 2),
+    ("token-usurper", 2),
+    ("stale-leader", 2),
+)
+
+ADVERSARIAL_KINDS = ("token-usurper", "stale-leader")
+
+#: One-way delay classes (ms): regional, continental, intercontinental.
+RTT_CLASSES = ((5.0, 15.0), (25.0, 45.0), (60.0, 90.0))
+
+#: Faults land inside the workload window (duration_ms spans this).
+SCHEDULE_WINDOW_MS = (500.0, 12000.0)
+DWELL_RANGE_MS = (800.0, 6000.0)
+
+
+def _gen_entry(kind: str, rng: random.Random) -> Dict[str, Any]:
+    """One schedule entry of ``kind``; index fields are resolved modulo
+    the live candidate lists at apply time (see ScheduleNemesis)."""
+    entry: Dict[str, Any] = {
+        "at": round(rng.uniform(*SCHEDULE_WINDOW_MS), 1),
+        "kind": kind,
+        "dwell": round(rng.uniform(*DWELL_RANGE_MS), 1),
+    }
+    if kind == "crash":
+        entry["site"] = rng.randrange(8)
+        entry["victim"] = rng.randrange(4)
+    elif kind in ("partition", "oneway-partition"):
+        entry["a"] = rng.randrange(8)
+        entry["b"] = rng.randrange(8)
+    elif kind == "flaky-link":
+        entry["a"] = rng.randrange(8)
+        entry["b"] = rng.randrange(8)
+        entry["loss"] = round(rng.uniform(0.05, 0.4), 2)
+        entry["duplicate"] = round(rng.uniform(0.0, 0.2), 2)
+    elif kind == "gray-degrade":
+        entry["a"] = rng.randrange(8)
+        entry["b"] = rng.randrange(8)
+        entry["factor"] = round(rng.uniform(3.0, 12.0), 1)
+    elif kind == "token-usurper":
+        entry["site"] = rng.randrange(8)
+        entry["key"] = rng.randrange(8)
+    elif kind == "stale-leader":
+        entry["site"] = rng.randrange(8)
+    return entry
+
+
+def _sort_schedule(schedule: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return sorted(
+        schedule,
+        key=lambda e: (float(e.get("at", 0.0)), str(e.get("kind", ""))),
+    )
+
+
+def generate_case(
+    campaign_seed: int,
+    index: int,
+    adversarial: bool = True,
+    bug: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Generate case ``index`` of the campaign under ``campaign_seed``."""
+    tag = f"case{index}"
+
+    rng_topo = seeded_rng(campaign_seed, f"{tag}:topology")
+    sites = rng_topo.randint(2, 4)
+    names = [f"s{i}" for i in range(sites)]
+    delays: Dict[str, float] = {}
+    for i in range(sites):
+        for j in range(i + 1, sites):
+            low, high = RTT_CLASSES[rng_topo.randrange(len(RTT_CLASSES))]
+            delays[f"{names[i]}|{names[j]}"] = round(
+                rng_topo.uniform(low, high), 1
+            )
+    jitter = rng_topo.choice([0.0, 0.05, 0.1])
+    voters = rng_topo.choice([1, 3, 3])  # mostly fault-tolerant ensembles
+    l2 = rng_topo.randrange(sites)
+
+    rng_wl = seeded_rng(campaign_seed, f"{tag}:workload")
+    keys = rng_wl.randint(2, 6)
+    read_mode = rng_wl.choice(["local", "local", "fractional"])
+    write_fraction = round(rng_wl.uniform(0.3, 0.9), 2)
+    # The workload must outlive the schedule window, else late faults hit
+    # an idle system and teach the fuzzer nothing.
+    duration = round(rng_wl.uniform(9000.0, 16000.0), 0)
+    pace = sorted(
+        (
+            round(rng_wl.uniform(20.0, 120.0), 1),
+            round(rng_wl.uniform(150.0, 400.0), 1),
+        )
+    )
+    # Pre-place some tokens (WK-Hot style): gives the adversarial
+    # token-usurper a legitimate owner to collide with from t=0.
+    pin = []
+    for key_index in range(keys):
+        if rng_wl.random() < 0.6:
+            pin.append([key_index, rng_wl.randrange(sites)])
+    ambient_on = rng_wl.random() < 0.3
+    ambient = {
+        "loss": 0.02 if ambient_on else 0.0,
+        "duplicate": 0.02 if ambient_on else 0.0,
+    }
+
+    schedule: List[Dict[str, Any]] = []
+    for kind, budget in FAULT_KIND_BUDGET:
+        if kind in ADVERSARIAL_KINDS and not adversarial:
+            continue
+        rng_kind = seeded_rng(campaign_seed, f"{tag}:schedule:{kind}")
+        for _ in range(rng_kind.randint(0, budget)):
+            schedule.append(_gen_entry(kind, rng_kind))
+
+    spec = {
+        "v": SPEC_VERSION,
+        "seed": seeded_rng(campaign_seed, f"{tag}:seed").getrandbits(32),
+        "topology": {
+            "sites": sites,
+            "delays": delays,
+            "local_ms": 0.25,
+            "jitter": jitter,
+        },
+        "deployment": {
+            "voters": voters,
+            "l2": l2,
+            "read_mode": read_mode,
+            "lease_ms": 2000.0,
+            "pin": pin,
+        },
+        "workload": {
+            "keys": keys,
+            "actors": 1,
+            "duration_ms": duration,
+            "write_fraction": write_fraction,
+            "pace_ms": pace,
+            "request_timeout_ms": 4000.0,
+        },
+        "ambient": ambient,
+        "schedule": _sort_schedule(schedule),
+        "horizon_ms": 120000.0,
+        "quiesce_ms": 12000.0,
+        "bug": bug,
+    }
+    return canonical_spec(spec)
+
+
+#: Mutation operators, each a small structural edit.
+_MUTATIONS = ("add", "drop", "retime", "param", "workload", "ambient")
+
+
+def mutate(
+    spec: Dict[str, Any], campaign_seed: int, salt: str
+) -> Dict[str, Any]:
+    """A structurally mutated copy of ``spec`` (the coverage-bias path).
+
+    Deterministic in ``(campaign_seed, salt, spec)``; 1–3 edits per call,
+    biased toward schedule edits since the schedule is where novel
+    interleavings come from.
+    """
+    rng = seeded_rng(campaign_seed, f"mutate:{salt}")
+    out = canonical_spec(spec)
+    schedule: List[Dict[str, Any]] = list(out["schedule"])
+    for _ in range(rng.randint(1, 3)):
+        op = rng.choice(_MUTATIONS)
+        if op == "add":
+            kind = rng.choice([k for k, _budget in FAULT_KIND_BUDGET])
+            schedule.append(_gen_entry(kind, rng))
+        elif op == "drop" and schedule:
+            schedule.pop(rng.randrange(len(schedule)))
+        elif op == "retime" and schedule:
+            entry = schedule[rng.randrange(len(schedule))]
+            entry["at"] = round(
+                max(0.0, float(entry["at"]) + rng.uniform(-3000.0, 3000.0)), 1
+            )
+            entry["dwell"] = round(
+                max(100.0, float(entry["dwell"]) + rng.uniform(-2000.0, 2000.0)),
+                1,
+            )
+        elif op == "param" and schedule:
+            entry = schedule[rng.randrange(len(schedule))]
+            for field in ("site", "victim", "a", "b", "key"):
+                if field in entry and rng.random() < 0.5:
+                    entry[field] = rng.randrange(8)
+            if "loss" in entry:
+                entry["loss"] = round(rng.uniform(0.05, 0.5), 2)
+            if "factor" in entry:
+                entry["factor"] = round(rng.uniform(3.0, 15.0), 1)
+        elif op == "workload":
+            wl = out["workload"]
+            wl["write_fraction"] = round(rng.uniform(0.2, 0.95), 2)
+            wl["duration_ms"] = round(
+                max(
+                    3000.0,
+                    float(wl["duration_ms"]) + rng.uniform(-4000.0, 4000.0),
+                ),
+                0,
+            )
+            if rng.random() < 0.3:
+                wl["keys"] = max(1, int(wl["keys"]) + rng.randint(-2, 2))
+                out["deployment"]["pin"] = [
+                    pin for pin in out["deployment"]["pin"]
+                    if int(pin[0]) < int(wl["keys"])
+                ]
+        elif op == "ambient":
+            on = rng.random() < 0.5
+            out["ambient"] = {
+                "loss": 0.03 if on else 0.0,
+                "duplicate": 0.02 if on else 0.0,
+            }
+    out["schedule"] = _sort_schedule(schedule)
+    return canonical_spec(out)

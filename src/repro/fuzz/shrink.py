@@ -1,0 +1,161 @@
+"""Automatic minimization of failing fuzz cases.
+
+Any case whose verdict is a *finding* (invariant violation, hang, or a
+harness exception) is shrunk before being written as an artifact: first
+ddmin over the schedule entries (delete as many as possible while the
+failure signature is preserved), then simplification of the surviving
+spec (drop ambient degradation, shrink the workload, reduce keys),
+re-running the deterministic harness after every candidate edit. The
+result is the smallest schedule the minimizer could find that still
+reproduces the *same* signature — usually the two or three entries whose
+interleaving actually matters — which is what makes the replay artifact
+readable as a bug report.
+
+Signatures compare ``(status, invariant)``; trace digests intentionally
+do **not** participate (every edit changes the trace, the *class* of
+failure is what must be preserved).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.fuzz.case import run_fuzz_case
+from repro.fuzz.spec import canonical_spec
+
+__all__ = ["run_signature", "shrink_case", "signature_of"]
+
+Signature = Tuple[str, ...]
+
+
+def signature_of(payload: Optional[Dict[str, Any]]) -> Optional[Signature]:
+    """The failure signature of a verdict payload (None when the case
+    passed)."""
+    if payload is None:
+        return None
+    status = payload.get("status")
+    if status == "violation":
+        return ("violation", str(payload.get("invariant")))
+    if status == "hang":
+        return ("hang",)
+    return None
+
+
+def run_signature(
+    spec: Dict[str, Any]
+) -> Tuple[Optional[Signature], Optional[Dict[str, Any]]]:
+    """Run ``spec`` in-process; returns (signature, payload).
+
+    Harness exceptions become ``("exception", <type>)`` signatures so
+    crash-class findings shrink exactly like invariant violations.
+    """
+    try:
+        payload = run_fuzz_case(spec)
+    except Exception as exc:
+        return ("exception", type(exc).__name__), None
+    return signature_of(payload), payload
+
+
+def shrink_case(
+    spec: Dict[str, Any],
+    signature: Signature,
+    max_runs: int = 80,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]], int]:
+    """Minimize ``spec`` while preserving ``signature``.
+
+    Returns ``(minimal_spec, its_payload, runs_used)``. The input spec is
+    assumed to reproduce the signature (the campaign verified that); the
+    output always does, by construction.
+    """
+    say = progress or (lambda _msg: None)
+    runs = {"used": 0}
+    best = {"spec": canonical_spec(spec), "payload": None}
+
+    def still_fails(candidate: Dict[str, Any]) -> bool:
+        if runs["used"] >= max_runs:
+            return False
+        runs["used"] += 1
+        got, payload = run_signature(candidate)
+        if got == signature:
+            best["spec"] = canonical_spec(candidate)
+            best["payload"] = payload
+            return True
+        return False
+
+    # ---- phase 1: ddmin over schedule entries ----
+    entries: List[Dict[str, Any]] = list(best["spec"]["schedule"])
+
+    def with_schedule(subset: List[Dict[str, Any]]) -> Dict[str, Any]:
+        candidate = canonical_spec(best["spec"])
+        candidate["schedule"] = subset
+        return candidate
+
+    chunks = 2
+    while len(entries) >= 1 and runs["used"] < max_runs:
+        chunk_size = max(1, len(entries) // chunks)
+        reduced = False
+        start = 0
+        while start < len(entries):
+            complement = entries[:start] + entries[start + chunk_size:]
+            if len(complement) < len(entries) and still_fails(
+                with_schedule(complement)
+            ):
+                say(
+                    f"shrink: {len(entries)} -> {len(complement)} entries "
+                    f"({runs['used']} runs)"
+                )
+                entries = complement
+                chunks = max(chunks - 1, 2)
+                reduced = True
+                start = 0
+                continue
+            start += chunk_size
+        if not reduced:
+            if chunks >= len(entries):
+                break
+            chunks = min(len(entries), chunks * 2)
+
+    # ---- phase 2: spec simplification (one attempt per knob) ----
+    def try_edit(edit: Callable[[Dict[str, Any]], None], label: str) -> None:
+        candidate = canonical_spec(best["spec"])
+        edit(candidate)
+        if candidate != best["spec"] and still_fails(candidate):
+            say(f"shrink: {label} ({runs['used']} runs)")
+
+    def drop_ambient(candidate: Dict[str, Any]) -> None:
+        candidate["ambient"] = {"loss": 0.0, "duplicate": 0.0}
+
+    def shorter_run(candidate: Dict[str, Any]) -> None:
+        wl = candidate["workload"]
+        wl["duration_ms"] = max(2000.0, float(wl["duration_ms"]) / 2.0)
+
+    def fewer_keys(candidate: Dict[str, Any]) -> None:
+        wl = candidate["workload"]
+        wl["keys"] = max(1, int(wl["keys"]) // 2)
+        candidate["deployment"]["pin"] = [
+            pin for pin in candidate["deployment"]["pin"]
+            if int(pin[0]) < int(wl["keys"])
+        ]
+
+    def single_actor(candidate: Dict[str, Any]) -> None:
+        candidate["workload"]["actors"] = 1
+
+    def round_times(candidate: Dict[str, Any]) -> None:
+        for entry in candidate["schedule"]:
+            entry["at"] = round(float(entry["at"]) / 250.0) * 250.0
+            entry["dwell"] = round(float(entry["dwell"]) / 500.0) * 500.0
+
+    try_edit(drop_ambient, "ambient off")
+    try_edit(shorter_run, "duration halved")
+    try_edit(shorter_run, "duration halved again")
+    try_edit(fewer_keys, "keys halved")
+    try_edit(single_actor, "one actor per site")
+    try_edit(round_times, "times rounded")
+
+    if best["payload"] is None:
+        # Every candidate was rejected (or the budget was zero): re-run
+        # the best spec once so the artifact carries its real payload.
+        _sig, payload = run_signature(best["spec"])
+        best["payload"] = payload
+    return best["spec"], best["payload"], runs["used"]

@@ -24,6 +24,10 @@ Checked invariants:
 * **reply-coherence** — every replica's first apply of a given
   ``(session_id, cxid)`` produces the same client-visible reply (modulo
   per-ensemble zxids in ``Stat``);
+* **lease-coherence** — a site leader may not serve a fractional read
+  (§VI) from a lease that has expired, or that was granted before an
+  invalidation this leader already acknowledged (the oracle for the
+  nemesis's adversarial *stale leader*);
 * **ephemeral-liveness** — at quiesce, no ephemeral node survives its
   owner session's expiry (:meth:`InvariantSentinel.final_check`).
 
@@ -116,6 +120,9 @@ class InvariantSentinel:
         self._applies: Dict[Tuple[str, str, int], List[Any]] = {}
         # (session_id, cxid) -> (op digest, canonical reply).
         self._replies: Dict[Tuple[str, int], Tuple[str, Any]] = {}
+        # (server name, token key) -> time of the latest invalidation this
+        # server acknowledged (fractional reads, §VI).
+        self._lease_invalidated: Dict[Tuple[str, str], float] = {}
 
     # ------------------------------------------------------------- wiring
 
@@ -248,6 +255,38 @@ class InvariantSentinel:
                 f"the token is at {server.hub_tokens.where(key)!r}",
             )
         self._check_exclusive(server, (key,), "read lease granted")
+
+    def on_lease_invalidate_ack(self, server, keys: Iterable[str]) -> None:
+        """A site leader acknowledged a fractional-read invalidation."""
+        now = server.env.now
+        for key in sorted(keys):
+            self._lease_invalidated[(server.name, key)] = now
+
+    def on_lease_read(self, server, path: str, lease) -> None:
+        """A site leader serves a read from a fractional lease (§VI).
+
+        The lease must still be inside its validity window, and must have
+        been granted *after* any invalidation this leader acknowledged for
+        its token — an honest leader drops leases on invalidation and
+        never serves expired ones, so either failure means stale reads.
+        """
+        self.checks_run += 1
+        now = server.env.now
+        if lease.expires <= now:
+            self._fail(
+                "lease-coherence",
+                f"{server.name} served {path!r} from a lease that expired "
+                f"at {lease.expires:.3f} (now {now:.3f})",
+            )
+        granted_at = lease.expires - server.wan.read_lease_ms
+        acked = self._lease_invalidated.get((server.name, lease.key))
+        if acked is not None and acked > granted_at:
+            self._fail(
+                "lease-coherence",
+                f"{server.name} served {path!r} from a lease granted at "
+                f"{granted_at:.3f} but invalidated (and acked) at "
+                f"{acked:.3f}",
+            )
 
     def _check_exclusive(self, server, keys: Iterable[str], what: str) -> None:
         """No *other* site's live leader may hold any of ``keys``.

@@ -468,6 +468,23 @@ def cell_soak(
     }
 
 
+# -- fuzz cells ---------------------------------------------------------------
+
+
+def cell_fuzz_case(spec_json: str) -> Dict[str, Any]:
+    """One coverage-guided fuzz case (:mod:`repro.fuzz`).
+
+    The declarative case spec travels as its compact canonical JSON string
+    so it satisfies the flat-scalar scenario-parameter contract; the cell
+    digest is therefore a digest of the spec itself.
+    """
+    import json
+
+    from repro.fuzz.case import run_fuzz_case
+
+    return run_fuzz_case(json.loads(spec_json))
+
+
 # -- debug cells (exercised by the runner's own tests) ------------------------
 
 
@@ -505,6 +522,7 @@ CELLS: Dict[str, Callable[..., Any]] = {
     "ablation_read_mode": cell_ablation_read_mode,
     "ablation_hub_placement": cell_ablation_hub_placement,
     "soak": cell_soak,
+    "fuzz_case": cell_fuzz_case,
     "debug_echo": cell_debug_echo,
     "debug_crash": cell_debug_crash,
     "debug_hang": cell_debug_hang,

@@ -398,17 +398,32 @@ class TokenRecall:
 
 
 class TokenReturn:
-    """Site -> hub: ``keys`` released (after the local release marker)."""
+    """Site -> hub: ``keys`` released (after the local release marker).
 
-    __slots__ = ('site', 'sender', 'keys')
+    ``seq`` is the releasing site's replicate-stream length at the release
+    commit — every local commit the site made while holding the keys sits
+    at or below it. The hub must absorb the site's stream up to ``seq``
+    before accepting the return: the return travels outside the go-back-N
+    stream, so under loss it can overtake the very commits (e.g. the
+    create of a returned key) the next hub-serialized write depends on.
+    """
 
-    def __init__(self, site: str, sender: NodeAddress, keys: Tuple[str, ...]):
+    __slots__ = ('site', 'sender', 'keys', 'seq')
+
+    def __init__(
+        self,
+        site: str,
+        sender: NodeAddress,
+        keys: Tuple[str, ...],
+        seq: int = 0,
+    ):
         self.site = site
         self.sender = sender
         self.keys = keys
+        self.seq = seq
 
     def _astuple(self) -> tuple:
-        return (self.site, self.sender, self.keys)
+        return (self.site, self.sender, self.keys, self.seq)
 
     def __eq__(self, other: object) -> bool:
         if other.__class__ is not TokenReturn:
@@ -421,7 +436,7 @@ class TokenReturn:
     def __repr__(self) -> str:
         return (
             f"TokenReturn(site={self.site!r}, sender={self.sender!r}, "
-            f"keys={self.keys!r})"
+            f"keys={self.keys!r}, seq={self.seq})"
         )
 
 

@@ -109,6 +109,13 @@ class WanConfig:
     #: (every read serialized at the hub), "fractional" (§VI read tokens).
     read_mode: str = "local"
     read_lease_ms: float = 3000.0
+    #: Fault-injection knob (used by ``repro fuzz`` regression artifacts):
+    #: disable the recall-overtook-grant guard in ``_handle_recall``,
+    #: re-introducing the dual-token race the lossy soak originally found
+    #: — a recall that overtakes its own grant on the relay stream gets
+    #: answered "not owned", the hub re-grants elsewhere, and the delayed
+    #: grant lands later: two owners.
+    buggy_recall_race: bool = False
     #: Extra per-request cost of the worker/master request processor and
     #: WAN-session bookkeeping. The paper measures ~0.1 ms higher read
     #: latency for WanKeeper vs ZooKeeper (§IV-A) and attributes it to
@@ -134,6 +141,15 @@ class WanConfig:
         for key, site in self.initial_tokens.items():
             if site not in self.sites:
                 raise ValueError(f"initial token {key!r} at unknown site {site!r}")
+        # A token "pinned to the hub's site" is simply held at level-2:
+        # grants skip the hub site's own locality, so an L1-owned token at
+        # the L2 site is a state the protocol never creates on its own
+        # (and the hub cannot recall from itself over the network).
+        self.initial_tokens = {
+            key: site
+            for key, site in self.initial_tokens.items()
+            if site != self.l2_site
+        }
 
 
 @dataclass
@@ -267,6 +283,10 @@ class WanKeeperServer(ZkServer):
         return stream
 
     def _reset_wan_leader_state(self) -> None:
+        # Adversarial (nemesis-injected) flag: a stale leader acks
+        # fractional-read invalidations but keeps serving its leases. Any
+        # restart or leadership change ends the lie with the leadership.
+        self.stale_reads = False
         # Level-1 role.
         self._l2_addr: Optional[NodeAddress] = None
         self._replicate_acked: Optional[int] = None
@@ -282,6 +302,11 @@ class WanKeeperServer(ZkServer):
         self._policy: MigrationPolicy = self.wan.policy_factory()
         self._hub_queue: List[_QueuedTxn] = []
         self._hub_queued_ids: Set[Tuple[str, int]] = set()
+        # Re-entrancy latch: serializing a queue entry can commit
+        # synchronously (single-voter ensembles), and the commit hook
+        # pumps again — which would mutate the queue mid-iteration.
+        self._hub_pumping = False
+        self._hub_pump_again = False
         # Txn ids serialized (proposed) but not yet committed: a retried
         # WanSubmit arriving in that window must not re-serialize.
         self._hub_inflight_ids: Set[Tuple[str, int]] = set()
@@ -295,6 +320,11 @@ class WanKeeperServer(ZkServer):
         self._relay_progress_at: Dict[str, float] = {}
         self._accepts_in_flight: Set[str] = set()
         self._absorbing_counts: Dict[str, int] = {}
+        # TokenReturns whose site's replicate stream we have not yet
+        # absorbed up to the release point (TokenReturn.seq): accepting
+        # early would let the hub serialize writes for the returned keys
+        # against a tree missing the site's final local commits.
+        self._deferred_returns: Dict[str, List[TokenReturn]] = {}
         # Sessions awaiting ephemeral garbage collection.
         self._gc_sessions: Dict[str, float] = {}
         # Strong-read state (forward / fractional modes).
@@ -498,32 +528,46 @@ class WanKeeperServer(ZkServer):
         """Serialize every queued txn whose tokens are home; recall the rest."""
         if not self.peer.is_leader:
             return
-        progress = True
-        while progress:
-            progress = False
-            for entry in list(self._hub_queue):
-                if entry.admin_keys is not None:
-                    needed = set(entry.admin_keys)
-                else:
-                    needed = self._hub_needed_keys(entry.txn)
-                missing = {
-                    key for key in needed if not self.hub_tokens.at_hub(key)
-                }
-                lease_holders = self._live_lease_holders(needed)
-                if missing or lease_holders:
-                    if missing:
-                        self._request_recalls(missing)
-                    if lease_holders:
-                        # §VI: a write needs all read tokens back first.
-                        self._send_invalidates(lease_holders)
-                    continue
-                self._hub_queue.remove(entry)
-                self._hub_queued_ids.discard(wan_id_of(entry.txn))
-                self._hub_serialize(
-                    entry.txn, needed, entry.origin_site,
-                    admin_grant=entry.admin_grant,
-                )
-                progress = True
+        if self._hub_pumping:
+            # Nested pump (a serialize committed synchronously and its
+            # commit hook pumped): flag the outer loop for another pass
+            # instead of mutating the queue mid-iteration.
+            self._hub_pump_again = True
+            return
+        self._hub_pumping = True
+        try:
+            progress = True
+            while progress:
+                progress = False
+                self._hub_pump_again = False
+                for entry in list(self._hub_queue):
+                    if entry not in self._hub_queue:
+                        continue  # removed by a deeper call this pass
+                    if entry.admin_keys is not None:
+                        needed = set(entry.admin_keys)
+                    else:
+                        needed = self._hub_needed_keys(entry.txn)
+                    missing = {
+                        key for key in needed if not self.hub_tokens.at_hub(key)
+                    }
+                    lease_holders = self._live_lease_holders(needed)
+                    if missing or lease_holders:
+                        if missing:
+                            self._request_recalls(missing)
+                        if lease_holders:
+                            # §VI: a write needs all read tokens back first.
+                            self._send_invalidates(lease_holders)
+                        continue
+                    self._hub_queue.remove(entry)
+                    self._hub_queued_ids.discard(wan_id_of(entry.txn))
+                    self._hub_serialize(
+                        entry.txn, needed, entry.origin_site,
+                        admin_grant=entry.admin_grant,
+                    )
+                    progress = True
+                progress = progress or self._hub_pump_again
+        finally:
+            self._hub_pumping = False
 
     def _request_recalls(self, keys: Set[str]) -> None:
         now = self.env.now
@@ -538,12 +582,21 @@ class WanKeeperServer(ZkServer):
             self._recall_sent_at[key] = now
             by_site.setdefault(owner, []).append(key)
         for site, site_keys in by_site.items():
+            counts = tuple(
+                self._grant_counts.get((key, site), 0) for key in site_keys
+            )
+            if site == self.site:
+                # A hub can find its own site in the location map — a
+                # freshly promoted level-2 still owns tokens granted while
+                # it was level-1, and fault injection can corrupt the map
+                # the same way. There is no remote leader to message;
+                # run the level-1 recall handler directly.
+                self.tokens_recalled += len(site_keys)
+                self._handle_recall(tuple(site_keys), counts)
+                continue
             leader = self._site_leaders.get(site)
             if leader is not None:
                 self.tokens_recalled += len(site_keys)
-                counts = tuple(
-                    self._grant_counts.get((key, site), 0) for key in site_keys
-                )
                 self.net.send(
                     self.client_addr,
                     leader,
@@ -715,6 +768,12 @@ class WanKeeperServer(ZkServer):
                         inflight.pop(key, None)
             if serialized_at not in (HUB, self.site):
                 self._ack_site(serialized_at)
+                deferred = self._deferred_returns.pop(serialized_at, None)
+                if deferred:
+                    # Stream advanced: replay parked returns (any still
+                    # ahead of the absorb watermark simply re-park).
+                    for parked in deferred:
+                        self._handle_return(parked)
                 # Replicated local commits feed the learning policies (the
                 # broker's access log covers migrated-token activity too).
                 # Nearly every op needs exactly one token; skip the sort
@@ -748,11 +807,22 @@ class WanKeeperServer(ZkServer):
         for key in op.keys:  # lint: iteration-order-ok (Tuple[str, ...])
             self.site_tokens.release(key)
             self._releasing.discard(key)
-        if self.peer.is_leader and not self.is_hub_site and self._l2_addr:
+        if self.peer.is_leader and self.is_hub_site:
+            # Self-recall completing at the hub: accept the return locally
+            # so the location map clears and queued txns pump.
+            self._handle_return(
+                TokenReturn(self.site, self.client_addr, op.keys)
+            )
+        elif self.peer.is_leader and not self.is_hub_site and self._l2_addr:
             self.net.send(
                 self.client_addr,
                 self._l2_addr,
-                TokenReturn(self.site, self.client_addr, op.keys),
+                TokenReturn(
+                    self.site,
+                    self.client_addr,
+                    op.keys,
+                    len(self._replicate_stream),
+                ),
             )
 
     def _commit_accept(self, op: TokenAcceptOp) -> None:
@@ -790,7 +860,7 @@ class WanKeeperServer(ZkServer):
                 continue
             if key not in self.site_tokens.owned:
                 seen = self._grant_counts.get((key, self.site), 0)
-                if seen < expected.get(key, 0):
+                if seen < expected.get(key, 0) and not self.wan.buggy_recall_race:
                     # The recall overtook its grant on the relay stream:
                     # the token is still in flight to us. Answering
                     # "not owned" now would let the hub re-grant the key
@@ -805,13 +875,18 @@ class WanKeeperServer(ZkServer):
             # else: inflight txns drain first; retire() releases later.
         if releasable:
             self._release_keys(releasable)
-        if not_owned and self._l2_addr is not None:
+        if not_owned:
             # Idempotent re-ack: we no longer hold these (return lost?).
-            self.net.send(
+            returned = TokenReturn(
+                self.site,
                 self.client_addr,
-                self._l2_addr,
-                TokenReturn(self.site, self.client_addr, tuple(sorted(not_owned))),
+                tuple(sorted(not_owned)),
+                len(self._replicate_stream),
             )
+            if self.is_hub_site:
+                self._handle_return(returned)  # self-recall: no network hop
+            elif self._l2_addr is not None:
+                self.net.send(self.client_addr, self._l2_addr, returned)
 
     def _release_keys(self, keys: Set[str]) -> None:
         fresh = {key for key in keys if key not in self._releasing}
@@ -823,6 +898,18 @@ class WanKeeperServer(ZkServer):
     def _handle_return(self, msg: TokenReturn) -> None:
         """Hub leader: a site released tokens; make it durable."""
         if not self.peer.is_leader:
+            return
+        if (
+            msg.site != self.site
+            and self._absorbed_from_site.get(msg.site, 0) < msg.seq
+        ):
+            # The return overtook the site's replicate stream: its final
+            # local commits for these keys are still in flight. Accepting
+            # now would re-grant/serialize against a stale tree. Park it;
+            # absorbing the stream up to msg.seq replays it.
+            queue = self._deferred_returns.setdefault(msg.site, [])
+            if msg not in queue:
+                queue.append(msg)
             return
         valid = tuple(
             key
@@ -1116,7 +1203,7 @@ class WanKeeperServer(ZkServer):
             self._gc_tick()
 
     def _expire_leases(self) -> None:
-        if not self._leases:
+        if self.stale_reads or not self._leases:
             return
         now = self.env.now
         self._leases = {
@@ -1234,7 +1321,10 @@ class WanKeeperServer(ZkServer):
             return
         if self.wan.read_mode == "fractional" and isinstance(op, GetDataOp):
             lease = self._leases.get(op.path)
-            if lease is not None and lease.expires > self.env.now:
+            fresh = lease is not None and lease.expires > self.env.now
+            if lease is not None and (fresh or self.stale_reads):
+                if self.sentinel is not None:
+                    self.sentinel.on_lease_read(self, op.path, lease)
                 self.reads_served += 1
                 self.net.send(
                     self.client_addr,
@@ -1289,11 +1379,17 @@ class WanKeeperServer(ZkServer):
 
     def _on_read_invalidate(self, src: NodeAddress, msg: ReadInvalidate) -> None:
         keys = set(msg.keys)
-        self._leases = {
-            path: lease
-            for path, lease in self._leases.items()
-            if lease.key not in keys
-        }
+        if self.sentinel is not None:
+            self.sentinel.on_lease_invalidate_ack(self, keys)
+        if not self.stale_reads:
+            # A stale (adversarial) leader acks the invalidation like an
+            # honest one but keeps the leases — the §VI coherence contract
+            # broken at the reader; on_lease_read is the oracle.
+            self._leases = {
+                path: lease
+                for path, lease in self._leases.items()
+                if lease.key not in keys
+            }
         self.net.send(
             self.client_addr, src, ReadInvalidateAck(self.client_addr, msg.keys)
         )

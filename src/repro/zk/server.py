@@ -88,7 +88,13 @@ class ZkServer:
         self.client_inbox.consume(self._on_client_envelope)
         self.tree = DataTree()
         self.watches = WatchManager()
-        self.sessions = SessionTracker(str(client_addr))
+        # Session ids must stay unique across server incarnations (as in
+        # ZooKeeper, where the id embeds the server epoch): the reply cache
+        # is rebuilt from the replayed durable log after a restart, so a
+        # reborn "owner#1" session would inherit the pre-crash session's
+        # cached replies and have its first writes acked without applying.
+        self._incarnation = 0
+        self.sessions = SessionTracker(self._session_owner())
 
         # (session_id, cxid) -> client NodeAddress awaiting a commit reply.
         self._pending_writes: Dict[Tuple[str, int], NodeAddress] = {}
@@ -172,6 +178,13 @@ class ZkServer:
                 proc.interrupt("crash")
         self._procs = []
 
+    def _session_owner(self) -> str:
+        # Incarnation 0 keeps the historical "addr#N" id shape; restarts
+        # get a distinct namespace so ids never collide across crashes.
+        if self._incarnation == 0:
+            return str(self.client_addr)
+        return f"{self.client_addr}+r{self._incarnation}"
+
     def restart(self) -> None:
         if self._alive:
             raise RuntimeError(f"{self.name} is running")
@@ -180,7 +193,8 @@ class ZkServer:
         # the durable log from zero as the peer rejoins.
         self.tree = DataTree()
         self.watches = WatchManager()
-        self.sessions = SessionTracker(str(self.client_addr))
+        self._incarnation += 1
+        self.sessions = SessionTracker(self._session_owner())
         self._pending_writes = {}
         # Rebuilt from the replayed log as commits re-apply from zero.
         self._reply_cache = OrderedDict()

@@ -195,3 +195,42 @@ def test_causal_monotonic_reads_per_session():
         ("r", "read", "x", 1, 6.0, 7.0),  # went backwards
     ])
     assert check_causal(history) != []
+
+
+def test_causal_allows_overlapping_writes_in_either_commit_order():
+    """Concurrent writes may commit in either order: a slow retried write
+    that straddles a fast one may legally serialize after it, so reading
+    the slow write after having seen the fast one is not a miss."""
+    history = hist([
+        ("c1", "write", "x", 1, 0.0, 10.0),   # slow (retried) write
+        ("c2", "write", "x", 2, 2.0, 3.0),    # completes inside c1's window
+        ("c3", "read", "x", 2, 4.0, 5.0),
+        ("c3", "read", "x", 1, 12.0, 13.0),   # legal iff x=1 committed last
+    ])
+    assert check_causal(history) == []
+
+
+def test_causal_explicit_write_order_totally_orders_overlapping_writes():
+    """The same history fails once the true commit order says the fast
+    write was in fact the newer one."""
+    history = hist([
+        ("c1", "write", "x", 1, 0.0, 10.0),
+        ("c2", "write", "x", 2, 2.0, 3.0),
+        ("c3", "read", "x", 2, 4.0, 5.0),
+        ("c3", "read", "x", 1, 12.0, 13.0),
+    ])
+    assert check_causal(history, key_write_orders={"x": [1, 2]}) != []
+
+
+def test_causal_still_flags_missing_nonoverlapping_newer_write():
+    # A client reads x=1 after causally learning of the strictly-newer
+    # x=2 through another key: a genuine miss, still flagged.
+    history = hist([
+        ("c1", "write", "x", 1, 0.0, 1.0),
+        ("c1", "write", "x", 2, 2.0, 3.0),
+        ("c2", "read", "x", 2, 4.0, 5.0),
+        ("c2", "write", "y", 9, 6.0, 7.0),
+        ("c3", "read", "y", 9, 8.0, 9.0),
+        ("c3", "read", "x", 1, 10.0, 11.0),   # missed causally-known x=2
+    ])
+    assert check_causal(history) != []

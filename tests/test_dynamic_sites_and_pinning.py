@@ -142,3 +142,59 @@ def test_assign_token_rejected_on_non_hub():
     leader = deployment.site_leader(CALIFORNIA)
     with pytest.raises(RuntimeError):
         leader.assign_token("/x", FRANKFURT)
+
+
+def test_initial_tokens_pinned_to_hub_site_serve_without_deadlock():
+    """A build-time pin to the hub's own site normalizes to hub-held.
+
+    The l2/hub ensemble *is* that site's ensemble, so "owned by the hub's
+    site" and "home at the hub" are the same state; before normalization
+    such a pin wedged every write to the key (the hub waited forever on a
+    recall from a site leader that is itself). Found by the fuzzer.
+    """
+    env, topo, net = fresh_world()
+    deployment = wankeeper(
+        env, net, topo, initial_tokens={"/hub-pinned": VIRGINIA}
+    )
+    assert deployment.hub_leader.hub_tokens.at_hub("/hub-pinned")
+    local = deployment.client(VIRGINIA)
+    remote = deployment.client(FRANKFURT)
+
+    def app():
+        yield local.connect()
+        yield remote.connect()
+        yield local.create("/hub-pinned", b"0")
+        yield remote.set_data("/hub-pinned", b"1")
+        yield env.timeout(3000.0)
+        return True
+
+    run_app(env, app(), timeout_ms=120000.0)
+    fingerprints = {s.tree.fingerprint() for s in deployment.servers}
+    assert len(fingerprints) == 1
+
+
+def test_pin_away_then_back_to_hub_site_keeps_serving():
+    """Round-trip a token remote -> hub-site and keep writing throughout;
+    exercises the hub's self-recall short-circuit (no WAN hop to itself)."""
+    env, topo, net = fresh_world()
+    deployment = wankeeper(env, net, topo)
+    client = deployment.client(CALIFORNIA)
+
+    def app():
+        yield client.connect()
+        yield client.create("/roundtrip", b"0")
+        yield env.timeout(500.0)
+        deployment.pin_token("/roundtrip", FRANKFURT)
+        yield env.timeout(3000.0)
+        deployment.pin_token("/roundtrip", VIRGINIA)  # the hub's own site
+        yield env.timeout(3000.0)
+        yield client.set_data("/roundtrip", b"1")
+        yield env.timeout(2000.0)
+        return True
+
+    run_app(env, app(), timeout_ms=120000.0)
+    assert deployment.hub_leader.hub_tokens.at_hub("/roundtrip")
+    assert (
+        "/roundtrip"
+        not in deployment.site_leader(FRANKFURT).site_tokens.owned
+    )

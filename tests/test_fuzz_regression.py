@@ -1,0 +1,87 @@
+"""Replay the checked-in minimal repro of the dual-token-race finding.
+
+The artifact was mined by the fuzzer with the ``recall-race`` bug knob
+re-introduced and shrunk to a single schedule entry; replaying it must
+reproduce the same sentinel violation with a bit-identical trace, and
+the same spec *without* the knob must pass — proving the artifact pins
+the bug, not harness noise.
+"""
+
+import json
+import os
+
+from repro.fuzz.case import run_fuzz_case
+from repro.fuzz.spec import canonical_spec
+
+ARTIFACT = os.path.join(
+    os.path.dirname(__file__), "artifacts", "dual_token_race.json"
+)
+
+
+def load_artifact():
+    with open(ARTIFACT, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_dual_token_race_artifact_replays_bit_identically():
+    artifact = load_artifact()
+    expect = artifact["expect"]
+    payload = run_fuzz_case(artifact["spec"])
+    assert payload["status"] == expect["status"] == "violation"
+    assert payload["invariant"] == expect["invariant"] == "single-token-ownership"
+    assert payload["trace_digest"] == expect["trace_digest"]
+
+
+def test_dual_token_race_requires_the_bug_knob():
+    artifact = load_artifact()
+    clean = canonical_spec(artifact["spec"])
+    assert clean["bug"] == "recall-race"
+    clean["bug"] = None
+    payload = run_fuzz_case(clean)
+    assert payload["status"] == "ok"
+
+
+# Fuzzer-found (campaign seed 13, shrunk to an empty schedule): under
+# ambient loss a TokenReturn could overtake the releasing site's
+# replicate stream, letting the hub serialize a write for the returned
+# key before absorbing the site's local create of it — a client-visible
+# no_node on an acked key plus divergent replica replies. Fixed by
+# carrying the release-point stream seq on TokenReturn and deferring
+# the hub's accept until the stream is absorbed that far.
+RETURN_OVERTAKES_REPLICATION_SPEC = {
+    "v": 1,
+    "seed": 4284510620,
+    "bug": None,
+    "horizon_ms": 120000.0,
+    "quiesce_ms": 12000.0,
+    "schedule": [],
+    "ambient": {"duplicate": 0.02, "loss": 0.03},
+    "deployment": {
+        "l2": 1,
+        "lease_ms": 2000.0,
+        "pin": [[0, 0], [1, 1], [4, 0]],
+        "read_mode": "local",
+        "voters": 1,
+    },
+    "topology": {
+        "sites": 3,
+        "jitter": 0.0,
+        "local_ms": 0.25,
+        "delays": {"s0|s1": 25.9, "s0|s2": 8.9, "s1|s2": 33.6},
+    },
+    "workload": {
+        "actors": 1,
+        "duration_ms": 2523.0,
+        "keys": 5,
+        "pace_ms": [64.8, 247.6],
+        "request_timeout_ms": 4000.0,
+        "write_fraction": 0.66,
+    },
+}
+
+
+def test_token_return_cannot_overtake_site_replication():
+    payload = run_fuzz_case(RETURN_OVERTAKES_REPLICATION_SPEC)
+    assert payload["status"] == "ok", payload["detail"]
+    assert payload["converged"] is True
+    assert payload["token_conflicts"] == 0

@@ -1,0 +1,101 @@
+"""Fuzz spec/generation unit tests: determinism and substream stability."""
+
+import pytest
+
+from repro.fuzz.generate import FAULT_KIND_BUDGET, generate_case, mutate
+from repro.fuzz.spec import (
+    BUG_KNOBS,
+    SCHEDULE_KINDS,
+    canonical_spec,
+    spec_digest,
+    validate_spec,
+)
+from repro.nemesis import ScheduleNemesis
+
+
+def test_schedule_kinds_mirror_schedule_nemesis():
+    # The spec layer's kind list and the nemesis executor must not drift.
+    assert SCHEDULE_KINDS == ScheduleNemesis.KINDS
+
+
+def test_fault_kind_budget_covers_only_known_kinds():
+    assert set(k for k, _ in FAULT_KIND_BUDGET) == set(SCHEDULE_KINDS)
+
+
+def test_generate_is_deterministic():
+    a = generate_case(42, 3)
+    b = generate_case(42, 3)
+    assert a == b
+    assert spec_digest(a) == spec_digest(b)
+
+
+def test_generated_specs_validate():
+    for index in range(12):
+        validate_spec(generate_case(7, index))
+        validate_spec(generate_case(7, index, adversarial=False))
+
+
+def test_adversarial_flag_only_touches_adversarial_substreams():
+    # Per-kind RNG substreams: removing the adversarial kinds must leave
+    # every other kind's entries — and the rest of the spec — bit-identical.
+    full = generate_case(42, 5, adversarial=True)
+    plain = generate_case(42, 5, adversarial=False)
+    adversarial = {"token-usurper", "stale-leader"}
+
+    def classic(spec):
+        return [e for e in spec["schedule"] if e["kind"] not in adversarial]
+
+    assert classic(full) == classic(plain)
+    assert all(e["kind"] not in adversarial for e in plain["schedule"])
+    for field in ("topology", "deployment", "workload", "ambient", "seed"):
+        assert full[field] == plain[field]
+
+
+def test_bug_knob_rides_along_without_changing_anything_else():
+    plain = generate_case(13, 2)
+    bugged = generate_case(13, 2, bug="recall-race")
+    assert bugged["bug"] == "recall-race"
+    stripped = canonical_spec(bugged)
+    stripped["bug"] = None
+    assert stripped == plain
+
+
+def test_mutate_is_deterministic_and_valid():
+    spec = generate_case(42, 0)
+    a = mutate(spec, 42, "case7")
+    b = mutate(spec, 42, "case7")
+    assert a == b
+    validate_spec(a)
+    # A different salt draws a different edit sequence.
+    assert mutate(spec, 42, "case8") != a or True  # may collide; just run it
+    validate_spec(mutate(spec, 42, "case8"))
+
+
+def test_validate_rejects_broken_specs():
+    good = generate_case(1, 0)
+
+    bad = canonical_spec(good)
+    bad["v"] = 99
+    with pytest.raises(ValueError):
+        validate_spec(bad)
+
+    bad = canonical_spec(good)
+    bad["deployment"]["read_mode"] = "psychic"
+    with pytest.raises(ValueError):
+        validate_spec(bad)
+
+    bad = canonical_spec(good)
+    bad["schedule"] = [{"at": 1000.0, "kind": "meteor", "dwell": 500.0}]
+    with pytest.raises(ValueError):
+        validate_spec(bad)
+
+    bad = canonical_spec(good)
+    bad["bug"] = "not-a-knob"
+    assert "not-a-knob" not in BUG_KNOBS
+    with pytest.raises(ValueError):
+        validate_spec(bad)
+
+    bad = canonical_spec(good)
+    bad["workload"]["duration_ms"] = 0.0
+    with pytest.raises(ValueError):
+        validate_spec(bad)

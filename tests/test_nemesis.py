@@ -329,3 +329,95 @@ def test_chaos_with_l2_failover_enabled():
         s.name: s.tree.fingerprint() for s in deployment.servers if s.is_alive
     }
     assert len(set(fingerprints.values())) == 1, nemesis.events
+
+
+# --- declarative schedules and adversarial actors (repro fuzz substrate) ----
+
+
+def test_schedule_nemesis_applies_deterministically_and_counts_skips():
+    from repro.nemesis import ScheduleNemesis
+
+    schedule = [
+        {"at": 1000.0, "kind": "crash", "site": 0, "victim": 0, "dwell": 6000.0},
+        # Same site while the first victim is down: the quorum guard
+        # refuses rather than silently dropping — counted as a skip.
+        {"at": 1500.0, "kind": "crash", "site": 0, "victim": 1, "dwell": 6000.0},
+        {"at": 2000.0, "kind": "flaky-link", "a": 0, "b": 1,
+         "loss": 0.2, "duplicate": 0.1, "dwell": 2000.0},
+    ]
+
+    def run_once():
+        env, topo, net = fresh_world(seed=8)
+        deployment = build(env, net, topo)
+        nemesis = ScheduleNemesis(
+            env, net, deployment, schedule,
+            NemesisConfig(interval_ms=500.0),
+        )
+        nemesis.start()
+        env.run(until=env.now + 15000.0)
+        nemesis.stop_and_repair()
+        return (
+            nemesis.applied,
+            nemesis.skipped,
+            [(e.time, e.kind, e.target) for e in nemesis.events],
+        )
+
+    applied, skipped, events = run_once()
+    assert applied == 2
+    assert skipped == 1
+    kinds = {kind for _t, kind, _target in events}
+    assert {"crash", "restart", "flaky-link", "skip"} <= kinds
+    assert run_once() == (applied, skipped, events)
+
+
+def test_adversarial_actors_inject_revert_and_trace(monkeypatch):
+    monkeypatch.setenv("REPRO_SENTINEL", "0")  # no oracle: observe the
+    # injection/repair mechanics themselves, not the violation they cause
+    from repro.nemesis import ScheduleNemesis
+    from repro.trace import TraceBuffer, install_trace
+
+    env, topo, net = fresh_world(seed=9)
+    deployment = build(env, net, topo)
+    trace = TraceBuffer(capacity=4096)
+    install_trace(deployment, trace)
+    nemesis = ScheduleNemesis(
+        env, net, deployment, [
+            {"at": 500.0, "kind": "token-usurper", "site": 1, "key": 0,
+             "dwell": 2000.0},
+            {"at": 800.0, "kind": "stale-leader", "site": 2, "dwell": 2000.0},
+        ],
+        NemesisConfig(interval_ms=200.0),
+        keys=("/nk0", "/nk1"),
+    )
+    nemesis.start()
+    env.run(until=env.now + 10000.0)
+    nemesis.stop_and_repair()
+
+    by_kind = {}
+    for event in nemesis.events:
+        by_kind.setdefault(event.kind, []).append(event)
+    # The usurper claimed a key it did not own, with structured detail...
+    usurp = by_kind["token-usurper"][0]
+    assert usurp.info["key"] in ("/nk0", "/nk1")
+    assert usurp.info["dwell_ms"] == 2000.0
+    # ...and the dwell expired into a repair that reverted the theft.
+    assert "usurper-repair" in by_kind
+    for site in (VIRGINIA, CALIFORNIA, FRANKFURT):
+        leader = deployment.site_leader(site)
+        assert usurp.info["key"] not in leader.site_tokens.owned
+
+    stale = by_kind["stale-leader"][0]
+    assert stale.info["dwell_ms"] == 2000.0
+    assert "stale-repair" in by_kind
+    for server in deployment.servers:
+        assert getattr(server, "stale_reads", False) is False
+
+    # FaultEvents are mirrored into the structured trace with their info.
+    nemesis_trace = [e for e in trace.events() if e[2] == "nemesis"]
+    traced_kinds = {e[3] for e in nemesis_trace}
+    assert {"token-usurper", "usurper-repair", "stale-leader",
+            "stale-repair"} <= traced_kinds
+    usurp_detail = next(
+        e[5] for e in nemesis_trace if e[3] == "token-usurper"
+    )
+    assert usurp_detail["key"] == usurp.info["key"]

@@ -120,3 +120,42 @@ def test_expiry_without_inflight_close_submits_exactly_one():
     assert counts.get(session_id, 0) == 1, counts
     for server in deployment.servers:
         assert server.tree.exists("/eph2") is None
+
+
+# -- 3. session ids across server restarts ------------------------------------
+
+
+def test_session_ids_stay_unique_across_server_restart():
+    """A reborn server must not mint session ids its previous incarnation
+    already used: the reply cache is rebuilt from the replayed log, so a
+    reused (session, cxid) pair would have the new session's first writes
+    answered from the dead session's cached replies — acked, never applied.
+    """
+    from repro.net import CALIFORNIA
+
+    env, topo, net = fresh_world(seed=35)
+    deployment = plain_zk(env, net, topo)
+    server = deployment.server_at(CALIFORNIA)
+    client = deployment.client(CALIFORNIA)
+
+    def app():
+        yield client.connect()
+        first = client.session_id
+        # Populate the replicated reply cache under this session's cxid 1.
+        yield client.create("/unique", b"0")
+        server.crash()
+        yield env.timeout(500.0)
+        server.restart()
+        yield env.timeout(8000.0)  # rejoin and replay the durable log
+        fresh = deployment.client(CALIFORNIA)
+        yield fresh.connect_retrying(max_retries=8)
+        assert fresh.session_id != first, fresh.session_id
+        # The reborn session's first write (cxid 1, colliding with the old
+        # session's create) must actually apply.
+        yield fresh.set_data_retrying("/unique", b"1", max_retries=8)
+        yield env.timeout(2000.0)
+        data, _stat = yield fresh.get_data("/unique")
+        assert data == b"1", data
+        return True
+
+    run_app(env, app())
