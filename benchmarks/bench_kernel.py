@@ -1,4 +1,4 @@
-"""Simulator-throughput benchmark runner (kernel / transport / YCSB).
+"""Simulator-throughput benchmark runner (kernel / burst / transport / YCSB).
 
 A thin wrapper over :mod:`repro.bench` so the benchmark lives alongside the
 figure benchmarks. Run directly::

@@ -7,6 +7,8 @@ experiments measure):
 * **kernel** — a ring of processes exchanging items through
   :class:`~repro.sim.store.Store` with interleaved timeouts; measures raw
   scheduler events/sec with no network or protocol stack involved.
+* **burst** — zero-delay ``call_soon`` cascades; measures the same-instant
+  batched run-to-quiescence fast path in isolation.
 * **transport** — a producer/consumer pair streaming messages across one
   WAN link; measures messages/sec through :class:`~repro.net.Network`.
 * **ycsb** — a full seeded YCSB run against the replicated ZooKeeper world
@@ -49,6 +51,7 @@ __all__ = [
     "CHECK_TOLERANCE",
     "EXPERIMENTS_BENCH_FILE",
     "SERVER_BENCH_FILE",
+    "bench_burst",
     "bench_datatree",
     "bench_experiments",
     "bench_kernel",
@@ -77,8 +80,13 @@ _TOLERANCES = {"ycsb": 0.20}
 #: BENCH files keep at most this many trajectory points.
 HISTORY_LIMIT = 20
 
+# --experiments --check fails unless cold parallel beats serial by at
+# least this factor (only enforced on >= 2 cores).
+EXPERIMENTS_SPEEDUP_FLOOR = 1.0
+
 # (full size, --quick size) for each workload.
 _KERNEL_SIZES = {"procs": (50, 20), "rounds": (2000, 400)}
+_BURST_SIZES = {"chains": (200, 50), "hops": (2000, 400)}
 _TRANSPORT_SIZES = {"messages": (60000, 10000)}
 _YCSB_SIZES = {"operations": (1500, 300), "records": (200, 100)}
 _DATATREE_SIZES = {"children": (400, 80), "ops": (80000, 8000)}
@@ -116,6 +124,43 @@ def bench_kernel(quick: bool = False) -> Dict[str, Any]:
     started = time.perf_counter()
     env.run()
     wall = time.perf_counter() - started
+    return {
+        "events": env._seq,
+        "wall_s": wall,
+        "events_per_sec": env._seq / wall,
+    }
+
+
+def bench_burst(quick: bool = False) -> Dict[str, Any]:
+    """Same-instant cascade benchmark: zero-delay callback chains.
+
+    Every event after the opening timeout is scheduled at the *current*
+    instant (``call_soon`` chains — the shape transport delivery and Zab
+    commit fan-out generate), so the run measures the batched
+    run-to-quiescence fast path with no heap traffic at all.
+    """
+    from repro.sim import Environment
+
+    n_chains = _size(_BURST_SIZES, "chains", quick)
+    n_hops = _size(_BURST_SIZES, "hops", quick)
+    env = Environment()
+    done = [0]
+
+    def hop(remaining):
+        if remaining:
+            env.call_soon(hop, remaining - 1)
+        else:
+            done[0] += 1
+
+    def kick(_arg):
+        for _ in range(n_chains):
+            env.call_soon(hop, n_hops)
+
+    env.call_in(1.0, kick)
+    started = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - started
+    assert done[0] == n_chains
     return {
         "events": env._seq,
         "wall_s": wall,
@@ -400,6 +445,7 @@ def bench_experiments(
     seed: int = 42,
     jobs: Optional[int] = None,
     suites: Optional[List[str]] = None,
+    pool: bool = True,
 ) -> Dict[str, Any]:
     """Wall-clock comparison of the scenario runner's three modes.
 
@@ -408,15 +454,24 @@ def bench_experiments(
     parallel warm-cache — verifies all three produce identical payloads
     *and* identical rendered tables, and reports the wall-clock numbers
     that ``BENCH_experiments.json`` commits.
+
+    "Cold" means cold *everything*: the warm worker pool is shut down
+    first, so the parallel number pays pool start-up (interpreter +
+    import) exactly once, the way a fresh ``repro experiments`` run
+    would. On a single-core machine the speedup is recorded but marked
+    ``single_core_advisory`` — process parallelism cannot beat serial
+    with one core, so the number says nothing about the executor.
     """
     import shutil
     import tempfile
 
     from repro.runner import ResultCache, build_suite, code_digest, execute, render_suite
+    from repro.runner.pool import shutdown_pool
     from repro.runner.suites import DEFAULT_SUITE_NAMES
 
     names = list(suites or DEFAULT_SUITE_NAMES)
     jobs = jobs or (os.cpu_count() or 1)
+    cpu_count = os.cpu_count() or 1
     scenarios = []
     for name in names:
         scenarios += build_suite(name, quick, seed)
@@ -429,12 +484,23 @@ def bench_experiments(
 
     cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
     try:
+        # Charge pool start-up to the cold run: a warm fleet left over
+        # from an earlier call would flatter the number.
+        shutdown_pool()
         cold = execute(
-            scenarios, jobs=jobs, cache=ResultCache(cache_root), timeout_s=3600
+            scenarios,
+            jobs=jobs,
+            cache=ResultCache(cache_root),
+            timeout_s=3600,
+            pool=pool,
         )
         cold.raise_on_failure()
         warm = execute(
-            scenarios, jobs=jobs, cache=ResultCache(cache_root), timeout_s=3600
+            scenarios,
+            jobs=jobs,
+            cache=ResultCache(cache_root),
+            timeout_s=3600,
+            pool=pool,
         )
         warm.raise_on_failure()
     finally:
@@ -453,7 +519,8 @@ def bench_experiments(
         "quick": quick,
         "seed": seed,
         "jobs": jobs,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "executor": "pool" if pool else "spawn",
         "suites": names,
         "cells": len(serial.results),
         "serial_wall_s": round(serial.wall_s, 3),
@@ -462,6 +529,9 @@ def bench_experiments(
         "parallel_speedup": (
             round(serial.wall_s / cold.wall_s, 3) if cold.wall_s else None
         ),
+        # With one core the speedup measures scheduling overhead, not
+        # parallelism — recorded for the trajectory, meaningless as a gate.
+        "single_core_advisory": cpu_count < 2,
         "warm_fraction_of_cold": (
             round(warm.wall_s / cold.wall_s, 4) if cold.wall_s else None
         ),
@@ -488,14 +558,21 @@ def _format_experiments(results: Dict[str, Any]) -> str:
         ],
     ]
     suffix = " (quick)" if results.get("quick") else ""
-    return format_table(
+    table = format_table(
         ["mode", "wall s", "vs serial"],
         rows,
         title=(
             f"Experiment suite runner{suffix}: {results['cells']} cells, "
-            f"{results['cpu_count']} CPU(s)"
+            f"{results['cpu_count']} CPU(s), "
+            f"{results.get('executor', 'spawn')} executor"
         ),
     )
+    if results.get("single_core_advisory"):
+        table += (
+            "\n(single core: speedup numbers are advisory — parallelism "
+            "cannot pay here)"
+        )
+    return table
 
 
 # -- hardware normalization ---------------------------------------------------
@@ -535,7 +612,7 @@ def calibrate(rounds: int = 3) -> float:
 
 
 #: Bench names and headline metric per suite.
-_KERNEL_BENCHES = ("kernel", "transport", "ycsb")
+_KERNEL_BENCHES = ("kernel", "burst", "transport", "ycsb")
 _SERVER_BENCHES = ("datatree", "watches", "tokens")
 
 
@@ -544,6 +621,7 @@ def run_suite(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
         "quick": quick,
         "calibration_events_per_sec": calibrate(),
         "kernel": bench_kernel(quick=quick),
+        "burst": bench_burst(quick=quick),
         "transport": bench_transport(quick=quick),
         "ycsb": bench_ycsb(quick=quick, seed=seed),
     }
@@ -591,6 +669,14 @@ def _format_suite(results: Dict[str, Any]) -> str:
             "-",
         ],
         [
+            "burst",
+            results["burst"]["events"],
+            f"{results['burst']['events_per_sec']:,.0f}",
+            "-",
+        ]
+        if "burst" in results
+        else None,
+        [
             "transport",
             results["transport"]["events"],
             f"{results['transport']['events_per_sec']:,.0f}",
@@ -603,6 +689,7 @@ def _format_suite(results: Dict[str, Any]) -> str:
             f"{results['ycsb']['ops_per_wall_sec']:,.0f} ops/s",
         ],
     ]
+    rows = [row for row in rows if row is not None]
     suffix = " (quick)" if results.get("quick") else ""
     return format_table(
         ["bench", "events", "events/sec", "domain rate"],
@@ -771,6 +858,20 @@ def main(argv=None) -> int:
         help="worker processes for --experiments (0 = one per CPU)",
     )
     parser.add_argument(
+        "--pool",
+        dest="pool",
+        action="store_true",
+        default=True,
+        help="--experiments: parallel runs use the warm worker pool "
+        "(default)",
+    )
+    parser.add_argument(
+        "--no-pool",
+        dest="pool",
+        action="store_false",
+        help="--experiments: spawn one process per cell instead",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="print results as JSON"
     )
     parser.add_argument(
@@ -791,15 +892,62 @@ def main(argv=None) -> int:
 
     if args.experiments:
         results = bench_experiments(
-            quick=args.quick, seed=args.seed, jobs=args.jobs or None
+            quick=args.quick,
+            seed=args.seed,
+            jobs=args.jobs or None,
+            pool=args.pool,
         )
         out = args.out if args.out != BENCH_FILE else EXPERIMENTS_BENCH_FILE
+
+        if args.check:
+            # The determinism half of the gate always applies; the
+            # parallel-beats-serial half is only meaningful with real
+            # cores to spread across.
+            print(_format_experiments(results))
+            if not results["results_identical"]:
+                print("FAIL serial and parallel payloads differ")
+                return 1
+            if results["single_core_advisory"]:
+                print(
+                    "SKIP parallel-beats-serial gate: "
+                    f"cpu_count={results['cpu_count']} < 2 "
+                    "(speedup is advisory on a single core)"
+                )
+                return 0
+            speedup = results["parallel_speedup"] or 0.0
+            if speedup <= EXPERIMENTS_SPEEDUP_FLOOR:
+                print(
+                    f"FAIL parallel_speedup {speedup:.2f}x is not above "
+                    f"{EXPERIMENTS_SPEEDUP_FLOOR:.1f}x on "
+                    f"{results['cpu_count']} cores"
+                )
+                return 1
+            print(
+                f"OK: parallel beats serial ({speedup:.2f}x cold on "
+                f"{results['cpu_count']} cores, results identical)"
+            )
+            return 0
+
         existing = _load_bench_file(out) or {}
         payload = {"schema": "bench_experiments/v1"}
         payload["quick" if args.quick else "full"] = results
         for key in ("quick", "full"):
             if key not in payload and key in existing:
                 payload[key] = existing[key]
+        entry = {
+            "commit": _git_commit(),
+            "quick": bool(args.quick),
+            "jobs": results["jobs"],
+            "cpu_count": results["cpu_count"],
+            "executor": results["executor"],
+            "parallel_speedup": results["parallel_speedup"],
+            "single_core_advisory": results["single_core_advisory"],
+        }
+        if args.label:
+            entry["label"] = args.label
+        history = list(existing.get("history", []))
+        history.append(entry)
+        payload["history"] = history[-HISTORY_LIMIT:]
         with open(out, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=False)
             handle.write("\n")

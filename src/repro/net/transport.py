@@ -36,7 +36,7 @@ from repro.net.message import Envelope
 from repro.net.topology import NodeAddress, Topology
 from heapq import heappush
 
-from repro.sim.kernel import PRIORITY_NORMAL, Environment, _Call
+from repro.sim.kernel import PRIORITY_NORMAL, Environment
 from repro.sim.store import Store
 
 __all__ = ["LinkProfile", "Network", "NodeDownError"]
@@ -358,11 +358,19 @@ class Network:
             if deliver_at > self._fast_horizon:
                 self._fast_horizon = deliver_at
             env._seq += 1
-            heappush(
-                env._queue,
-                (deliver_at, PRIORITY_NORMAL, env._seq,
-                 _Call(self._deliver_cb, (inbox, envelope))),
-            )
+            if deliver_at == env._now:
+                # Zero-latency pair (same-site loopback): same-instant
+                # bucket keeps the kernel's no-heap-entries-at-now
+                # invariant intact.
+                env._normal_now.append(
+                    (self._deliver_cb, (inbox, envelope))
+                )
+            else:
+                heappush(
+                    env._queue,
+                    (deliver_at, PRIORITY_NORMAL, env._seq,
+                     (self._deliver_cb, (inbox, envelope))),
+                )
             return
 
         if src in self._down or dst in self._down:
@@ -436,10 +444,6 @@ class Network:
                 inbox._consumer_busy = True
                 env = self.env
                 env._seq += 1
-                heappush(
-                    env._queue,
-                    (env._now, PRIORITY_NORMAL, env._seq,
-                     _Call(inbox._run_consumer, envelope)),
-                )
+                env._normal_now.append((inbox._run_consumer, envelope))
         else:
             inbox.put(envelope)

@@ -19,6 +19,7 @@ order — parallel runs print byte-identical tables.
 
 from repro.runner.cache import ResultCache, code_digest, default_cache_dir
 from repro.runner.executor import CellFailure, ExecutionReport, ScenarioError, execute
+from repro.runner.pool import WorkerPool, get_pool, pool_key, shutdown_pool
 from repro.runner.scenario import Scenario
 from repro.runner.suites import SUITES, build_suite, render_suite
 
@@ -29,9 +30,13 @@ __all__ = [
     "SUITES",
     "Scenario",
     "ScenarioError",
+    "WorkerPool",
     "build_suite",
     "code_digest",
     "default_cache_dir",
     "execute",
+    "get_pool",
+    "pool_key",
     "render_suite",
+    "shutdown_pool",
 ]

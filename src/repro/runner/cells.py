@@ -510,6 +510,29 @@ def cell_debug_hang() -> Dict[str, Any]:
         time.sleep(0.1)
 
 
+def cell_debug_exit(code: int = 17) -> Dict[str, Any]:
+    """Cell that kills its worker outright — exercises crash handling.
+
+    ``os._exit`` skips the executor's exception reporting entirely, so the
+    parent sees a worker death mid-cell, exactly like a segfault or OOM
+    kill would look.
+    """
+    import os
+
+    os._exit(code)
+
+
+def cell_debug_pid(tag: int = 0) -> Dict[str, Any]:
+    """Cell that reports its worker's pid — exercises warm-pool reuse.
+
+    ``tag`` only differentiates scenario digests so repeated calls are
+    distinct cells (and never collapse into one cache entry).
+    """
+    import os
+
+    return {"tag": tag, "pid": os.getpid()}
+
+
 CELLS: Dict[str, Callable[..., Any]] = {
     "ycsb_write_ratio": cell_ycsb_write_ratio,
     "fig6": cell_fig6,
@@ -526,6 +549,8 @@ CELLS: Dict[str, Callable[..., Any]] = {
     "debug_echo": cell_debug_echo,
     "debug_crash": cell_debug_crash,
     "debug_hang": cell_debug_hang,
+    "debug_exit": cell_debug_exit,
+    "debug_pid": cell_debug_pid,
 }
 
 

@@ -7,18 +7,22 @@ points the tests pin down:
 
 * **Spawn-safe.** Workers use the ``spawn`` start method — the only one
   that is identical across platforms and immune to fork-inherited
-  state — so a cell computes from a pristine interpreter exactly as the
-  determinism guard demands. One process per cell: no pool worker
-  reuse, no warm module state leaking between cells.
+  state — so a cell computes from a pristine interpreter. By default
+  ``jobs > 1`` runs through the persistent warm pool
+  (:mod:`repro.runner.pool`): workers are spawned once, import ``repro``
+  once, and serve many cells each; ``pool=False`` (CLI ``--no-pool``)
+  falls back to the legacy one-process-per-cell spawn path.
 * **Deterministic results.** A cell's payload is a pure function of its
   scenario; the executor never lets completion order leak into results
   (they are keyed by scenario digest, and renderers iterate the
-  scenario list).
+  scenario list). Serial, pooled, and spawn-per-cell execution are
+  byte-identical.
 * **No wedged runs.** A crashing worker is detected by its exit without
   a result; a hung worker is killed after ``timeout_s``. Both surface
   as :class:`CellFailure` entries carrying the full scenario spec, and
   :meth:`ExecutionReport.raise_on_failure` turns them into a non-zero
-  exit instead of a deadlocked pool.
+  exit instead of a deadlocked pool. In the pooled path a dead or hung
+  worker fails only its in-flight cell and is replaced.
 """
 
 from __future__ import annotations
@@ -143,14 +147,16 @@ def execute(
     cache=None,
     timeout_s: Optional[float] = None,
     progress: Optional[Callable[[str], None]] = None,
+    pool: bool = True,
 ) -> ExecutionReport:
     """Run every scenario; returns payloads keyed by scenario digest.
 
     Duplicate scenarios (same digest) are executed once. With ``cache``
     set, hits skip execution and fresh results are stored. ``jobs == 1``
-    executes in-process (the determinism reference); ``jobs > 1`` spawns
-    one worker process per cell, at most ``jobs`` concurrently, each
-    subject to ``timeout_s``.
+    executes in-process (the determinism reference); ``jobs > 1`` runs
+    at most ``jobs`` cells concurrently, each subject to ``timeout_s`` —
+    through the persistent warm worker pool by default, or one spawned
+    process per cell with ``pool=False``.
     """
     started = time.perf_counter()
     report = ExecutionReport(jobs=jobs)
@@ -176,6 +182,10 @@ def execute(
 
     if jobs <= 1:
         _run_serial(to_run, cache, report, say)
+    elif pool:
+        from repro.runner.pool import run_pooled
+
+        run_pooled(to_run, jobs, cache, timeout_s, report, say)
     else:
         _run_parallel(to_run, jobs, cache, timeout_s, report, say)
 
@@ -256,50 +266,60 @@ def _run_parallel(to_run, jobs, cache, timeout_s, report, say) -> None:
 
             for proc, scenario, conn, message in finished:
                 del running[proc]
-                if message == "timeout":
-                    proc.terminate()
-                    reap(proc)
-                    report.failures.append(
-                        CellFailure(
-                            scenario,
-                            "timeout",
-                            f"cell exceeded the per-cell timeout of "
-                            f"{timeout_s:.0f}s and was killed",
+                try:
+                    if message == "timeout":
+                        proc.terminate()
+                        reap(proc)
+                        report.failures.append(
+                            CellFailure(
+                                scenario,
+                                "timeout",
+                                f"cell exceeded the per-cell timeout of "
+                                f"{timeout_s:.0f}s and was killed",
+                            )
                         )
-                    )
-                elif message is None:
-                    exitcode = proc.exitcode
-                    reap(proc)
-                    report.failures.append(
-                        CellFailure(
-                            scenario,
-                            "crash",
-                            f"worker died without a result "
-                            f"(exit code {exitcode})",
+                    elif message is None:
+                        exitcode = proc.exitcode
+                        reap(proc)
+                        report.failures.append(
+                            CellFailure(
+                                scenario,
+                                "crash",
+                                f"worker died without a result "
+                                f"(exit code {exitcode})",
+                            )
                         )
-                    )
-                elif message[0] == "ok":
-                    _status, payload, elapsed = message
-                    reap(proc)
-                    payload = _json_roundtrip(payload)
-                    report.results[scenario.digest()] = payload
-                    report.executed += 1
-                    say(f"done       {scenario.describe()}")
-                    if cache is not None:
-                        cache.put(scenario, payload, elapsed)
-                else:
-                    _status, error_message, detail = message
-                    reap(proc)
-                    report.failures.append(
-                        CellFailure(scenario, "exception", error_message, detail)
-                    )
-                conn.close()
+                    elif message[0] == "ok":
+                        _status, payload, elapsed = message
+                        reap(proc)
+                        payload = _json_roundtrip(payload)
+                        report.results[scenario.digest()] = payload
+                        report.executed += 1
+                        say(f"done       {scenario.describe()}")
+                        if cache is not None:
+                            cache.put(scenario, payload, elapsed)
+                    else:
+                        _status, error_message, detail = message
+                        reap(proc)
+                        report.failures.append(
+                            CellFailure(scenario, "exception", error_message, detail)
+                        )
+                finally:
+                    # Close the read end on every path — success, crash,
+                    # timeout, or a raising cache.put — or the parent
+                    # accumulates one leaked pipe fd per finished cell.
+                    conn.close()
 
             if running and not finished:
                 time.sleep(_POLL_INTERVAL_S)
     finally:
-        # Belt and braces: never leave workers behind (^C, raise, ...).
-        for proc in running:
+        # Belt and braces: never leave workers or pipes behind
+        # (^C, raise, ...).
+        for proc, (_scenario, conn, _started) in running.items():
+            try:
+                conn.close()
+            except Exception:
+                pass
             try:
                 proc.terminate()
                 proc.join(_REAP_GRACE_S)

@@ -28,11 +28,23 @@ Performance notes (every figure pushes millions of events through here):
   callbacks fire);
 * callback cancellation is O(1) in the common case (the cancelled callback
   is the most recently registered one) and any stale wake-up that slips
-  through is defused by the guard in :meth:`Process._resume`.
+  through is defused by the guard in :meth:`Process._resume`;
+* **same-instant batching**: anything scheduled *at the current instant*
+  (process resumptions, ``succeed``/``fail`` deliveries, zero-delay
+  :class:`_Call` chains from the transport and store layers) bypasses the
+  heap entirely and lands in one of two FIFO buckets — urgent and normal —
+  that the run loop drains to quiescence before touching the heap again.
+  When the clock does advance, every heap entry at the new instant is
+  pulled into the buckets in one pass, so a burst of N same-time events
+  costs N O(1) deque operations instead of N O(log n) heap round-trips.
+  Ordering is unchanged: at a fixed time, all urgent entries run before
+  all normal entries, each in sequence order — exactly the
+  ``(time, priority, seq)`` lexicographic order the heap produced.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
@@ -72,15 +84,18 @@ class Interrupt(Exception):
         self.cause = cause
 
 
-class _Call:
-    """A bare scheduled callback: rides the event queue without being an
-    :class:`Event`. ``fn(arg)`` is invoked when the entry is dequeued."""
+def _Call(fn: Callable[[Any], None], arg: Any) -> tuple:
+    """A bare scheduled callback: a plain ``(fn, arg)`` tuple that rides
+    the event queue without being an :class:`Event`; ``fn(arg)`` is
+    invoked when the entry is dequeued.
 
-    __slots__ = ("fn", "arg")
-
-    def __init__(self, fn: Callable[[Any], None], arg: Any):
-        self.fn = fn
-        self.arg = arg
+    A tuple rather than a two-slot class because the delivery chains the
+    transport and store layers generate allocate one per message — tuple
+    construction is a single C allocation with no ``__init__`` frame. The
+    dispatch loops type-test ``type(entry) is tuple``; hot call sites
+    build the tuple inline instead of going through this helper.
+    """
+    return (fn, arg)
 
 
 class Event:
@@ -134,7 +149,15 @@ class Event:
         self._value = value
         env = self.env
         env._seq += 1
-        heappush(env._queue, (env._now, priority, env._seq, self))
+        # Delivery is always at the current instant: same-instant bucket,
+        # no heap traffic (custom priorities beyond the two known ones
+        # still take the ordered heap path).
+        if priority == PRIORITY_NORMAL:
+            env._normal_now.append(self)
+        elif priority == PRIORITY_URGENT:
+            env._urgent_now.append(self)
+        else:
+            heappush(env._queue, (env._now, priority, env._seq, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
@@ -154,7 +177,7 @@ class Event:
             # Already processed: deliver through the queue at the current
             # instant rather than synchronously, so that a process yielding
             # processed events in a loop cannot recurse unboundedly.
-            self.env._enqueue(0.0, PRIORITY_URGENT, _Call(callback, self))
+            self.env._enqueue(0.0, PRIORITY_URGENT, (callback, self))
         else:
             callbacks.append(callback)
 
@@ -187,7 +210,13 @@ class Timeout(Event):
         self.delay = delay
         self._poolable = False
         env._seq += 1
-        heappush(env._queue, (env._now + delay, PRIORITY_NORMAL, env._seq, self))
+        when = env._now + delay
+        if when == env._now:
+            # Zero delay (or one that underflows float addition): fires at
+            # the current instant — bucket, don't heap.
+            env._normal_now.append(self)
+        else:
+            heappush(env._queue, (when, PRIORITY_NORMAL, env._seq, self))
 
 
 class _Initialize(Event):
@@ -258,17 +287,22 @@ class Process(Event):
         self._target = None
         if target is not None:
             target._remove_callback(self._on_target)
-        self._step(event)
+        # Point _target at the interrupt event so _resume's stale-wake
+        # guard passes; _resume immediately clears it again.
+        self._target = event
+        self._resume(event)
 
     def _resume(self, event: Event) -> None:
+        """Trampoline: the awaited event triggered, step the generator.
+
+        The stale-wake guard (an interrupt moved the process off this
+        event before the queued delivery arrived) and the generator step
+        share one frame — this is the hottest method on a Process, so the
+        former ``_step`` helper is folded in rather than called.
+        """
         if self._target is not event:
-            # Stale wake-up: an interrupt moved the process off this event
-            # before the (queued) delivery arrived.
             return
         self._target = None
-        self._step(event)
-
-    def _step(self, event: Event) -> None:
         env = self.env
         env._active_process = self
         try:
@@ -303,7 +337,7 @@ class Process(Event):
         self._target = next_target
         callbacks = next_target.callbacks
         if callbacks is None:
-            env._enqueue(0.0, PRIORITY_URGENT, _Call(self._on_target, next_target))
+            env._enqueue(0.0, PRIORITY_URGENT, (self._on_target, next_target))
         else:
             callbacks.append(self._on_target)
 
@@ -397,7 +431,7 @@ class Environment:
     """The simulation environment: clock + event queue + process factory."""
 
     __slots__ = ("_now", "_queue", "_seq", "_active_process", "_timeout_pool",
-                 "trace")
+                 "_urgent_now", "_normal_now", "trace")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -405,6 +439,16 @@ class Environment:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._timeout_pool: List[Timeout] = []
+        # Same-instant buckets: entries scheduled for the *current* instant,
+        # kept off the heap. Invariant: every bucketed entry's sequence
+        # number exceeds that of any same-priority heap entry at the current
+        # time (fresh entries get fresh seqs; heap entries at the current
+        # time are drained into the buckets the moment the clock lands on
+        # it), so FIFO drain order — urgent bucket first, then one normal
+        # entry, re-checking urgent between normal entries — reproduces the
+        # heap's (time, priority, seq) order exactly.
+        self._urgent_now: deque = deque()
+        self._normal_now: deque = deque()
         #: Optional structured trace buffer (repro.trace.TraceBuffer); the
         #: kernel only reports rare events (process failures) to it.
         self.trace = None
@@ -451,9 +495,13 @@ class Environment:
         timeout._value = value
         timeout.delay = delay
         self._seq += 1
-        heappush(
-            self._queue, (self._now + delay, PRIORITY_NORMAL, self._seq, timeout)
-        )
+        when = self._now + delay
+        if when == self._now:
+            self._normal_now.append(timeout)
+        else:
+            heappush(
+                self._queue, (when, PRIORITY_NORMAL, self._seq, timeout)
+            )
         return timeout
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -469,7 +517,14 @@ class Environment:
 
     def _enqueue(self, delay: float, priority: int, event: Event) -> None:
         self._seq += 1
-        heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        when = self._now + delay
+        if when == self._now and priority <= PRIORITY_NORMAL:
+            if priority:
+                self._normal_now.append(event)
+            else:
+                self._urgent_now.append(event)
+        else:
+            heappush(self._queue, (when, priority, self._seq, event))
 
     def call_in(
         self,
@@ -488,20 +543,74 @@ class Environment:
         if delay < 0:
             raise SimulationError(f"negative call_in delay: {delay!r}")
         self._seq += 1
-        heappush(self._queue, (self._now + delay, priority, self._seq, _Call(fn, arg)))
+        when = self._now + delay
+        if when == self._now and priority <= PRIORITY_NORMAL:
+            if priority:
+                self._normal_now.append((fn, arg))
+            else:
+                self._urgent_now.append((fn, arg))
+        else:
+            heappush(self._queue, (when, priority, self._seq, (fn, arg)))
+
+    def call_soon(
+        self,
+        fn: Callable[[Any], None],
+        arg: Any = None,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Schedule ``fn(arg)`` at the current instant: ``call_in(0, ...)``
+        minus the delay arithmetic — one deque append, no heap traffic.
+        The store and transport layers use it for their zero-delay
+        delivery chains."""
+        self._seq += 1
+        if priority:
+            self._normal_now.append((fn, arg))
+        else:
+            self._urgent_now.append((fn, arg))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        if self._urgent_now or self._normal_now:
+            return self._now
         return self._queue[0][0] if self._queue else _INF
+
+    def _advance(self) -> Any:
+        """Pop the next heap entry, advance the clock to it, and drain every
+        other heap entry at that instant into the same-instant buckets.
+
+        Returns the popped entry (the minimum); the caller dispatches it.
+        Draining keeps the bucket invariant: heap entries at the new time
+        predate (seq-wise) anything the dispatches will append.
+        """
+        queue = self._queue
+        when, _priority, _seq, event = heappop(queue)
+        self._now = when
+        while queue:
+            head = queue[0]
+            # Entries with custom priorities beyond NORMAL stay on the heap;
+            # they are popped only after both buckets drain, which is their
+            # correct lexicographic slot.
+            if head[0] != when or head[1] > PRIORITY_NORMAL:
+                break
+            heappop(queue)
+            if head[1]:
+                self._normal_now.append(head[3])
+            else:
+                self._urgent_now.append(head[3])
+        return event
 
     def step(self) -> None:
         """Process the single next entry in the queue."""
-        if not self._queue:
+        if self._urgent_now:
+            event = self._urgent_now.popleft()
+        elif self._normal_now:
+            event = self._normal_now.popleft()
+        elif self._queue:
+            event = self._advance()
+        else:
             raise SimulationError("step() on an empty event queue")
-        when, _priority, _seq, event = heappop(self._queue)
-        self._now = when
-        if type(event) is _Call:
-            event.fn(event.arg)
+        if type(event) is tuple:
+            event[0](event[1])
             return
         callbacks = event.callbacks
         event.callbacks = None
@@ -544,24 +653,58 @@ class Environment:
         if stop_event is None:
             # Hot path: drain-the-queue / run-to-horizon, with the step()
             # body inlined (the per-event call overhead is measurable at
-            # millions of events per figure).
+            # millions of events per figure). Same-instant entries are
+            # popped from the FIFO buckets in O(1); the heap is consulted
+            # only to advance the clock, and draining all entries at the
+            # new instant into the buckets in one pass keeps the zero-delay
+            # chains the transport/Zab layers generate off the heap.
             queue = self._queue
+            urgent = self._urgent_now
+            normal = self._normal_now
             pool = self._timeout_pool
-            while queue:
-                if queue[0][0] > horizon:
-                    self._now = horizon
-                    return None
-                when, _priority, _seq, event = heappop(queue)
-                self._now = when
-                if type(event) is _Call:
-                    event.fn(event.arg)
+            # Bound methods / type objects hoisted out of the loop: each one
+            # saves an attribute or global lookup per event, and the loop
+            # runs millions of times per figure.
+            urgent_pop = urgent.popleft
+            normal_pop = normal.popleft
+            urgent_push = urgent.append
+            normal_push = normal.append
+            pop = heappop
+            tuple_t = tuple
+            timeout_t = Timeout
+            while True:
+                if urgent:
+                    event = urgent_pop()
+                elif normal:
+                    event = normal_pop()
+                elif queue:
+                    if queue[0][0] > horizon:
+                        self._now = horizon
+                        return None
+                    # _advance() inlined: one fewer Python call per clock
+                    # tick, and ticks are all that is left on the heap.
+                    when, _priority, _seq, event = pop(queue)
+                    self._now = when
+                    while queue:
+                        head = queue[0]
+                        if head[0] != when or head[1] > PRIORITY_NORMAL:
+                            break
+                        pop(queue)
+                        if head[1]:
+                            normal_push(head[3])
+                        else:
+                            urgent_push(head[3])
+                else:
+                    break
+                if type(event) is tuple_t:
+                    event[0](event[1])
                     continue
                 callbacks = event.callbacks
                 event.callbacks = None
                 for callback in callbacks:
                     callback(event)
                 if event._ok:
-                    if type(event) is Timeout and event._poolable:
+                    if type(event) is timeout_t and event._poolable:
                         callbacks.clear()
                         event.callbacks = callbacks
                         pool.append(event)
@@ -575,7 +718,7 @@ class Environment:
                 self._now = horizon
             return None
 
-        while self._queue:
+        while self._queue or self._urgent_now or self._normal_now:
             if stop_event.triggered:
                 break
             self.step()

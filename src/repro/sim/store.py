@@ -10,15 +10,12 @@ FIFO-channel (TCP-like) guarantee.
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappush
 from typing import Any, Callable, Deque, Optional
 
 from repro.sim.kernel import (
-    PRIORITY_NORMAL,
     Environment,
     Event,
     SimulationError,
-    _Call,
 )
 
 __all__ = ["Store", "StoreClosed"]
@@ -66,13 +63,11 @@ class Store:
                 self._items.append(item)
             else:
                 self._consumer_busy = True
+                # Same-instant delivery: straight into the run loop's
+                # normal bucket, no heap round-trip.
                 env = self.env
                 env._seq += 1
-                heappush(
-                    env._queue,
-                    (env._now, PRIORITY_NORMAL, env._seq,
-                     _Call(self._run_consumer, item)),
-                )
+                env._normal_now.append((self._run_consumer, item))
         elif self._getters:
             getter = self._getters.popleft()
             getter.succeed(item)
@@ -105,10 +100,8 @@ class Store:
         if self._items:
             env = self.env
             env._seq += 1
-            heappush(
-                env._queue,
-                (env._now, PRIORITY_NORMAL, env._seq,
-                 _Call(self._run_consumer, self._items.popleft())),
+            env._normal_now.append(
+                (self._run_consumer, self._items.popleft())
             )
         else:
             self._consumer_busy = False

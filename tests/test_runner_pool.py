@@ -1,0 +1,132 @@
+"""Lifecycle of the persistent warm worker pool.
+
+The pool's contract: workers are spawned once and reused across many
+cells, are invalidated when the source digest or ``REPRO_*`` environment
+changes, and isolate failures — a dead or hung worker fails only its
+in-flight cell and is replaced, never the whole run. And through it all,
+results stay byte-identical to the serial reference.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import Scenario, execute, pool_key, shutdown_pool
+from repro.runner.pool import default_batch_size, get_pool
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    """Every test starts and ends without a warm fleet."""
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+def _pids(report):
+    return {payload["pid"] for payload in report.results.values()}
+
+
+def test_workers_are_reused_across_cells_and_runs():
+    scenarios = [Scenario.make("debug_pid", {"tag": i}) for i in range(8)]
+    report = execute(scenarios, jobs=2)
+    assert report.executed == 8 and not report.failures
+    # 8 cells, at most 2 worker processes: warm reuse, not spawn-per-cell.
+    first_pids = _pids(report)
+    assert len(first_pids) <= 2
+
+    # A second run reuses the *same* processes (the pool survives
+    # execute() calls).
+    more = [Scenario.make("debug_pid", {"tag": 100 + i}) for i in range(4)]
+    again = execute(more, jobs=2)
+    assert _pids(again) <= first_pids
+
+
+def test_worker_death_mid_cell_fails_only_that_cell_and_respawns():
+    scenarios = [Scenario.make("debug_exit", {"code": 13})] + [
+        Scenario.make("debug_echo", {"value": i, "sleep_s": 0.0})
+        for i in range(4)
+    ]
+    report = execute(scenarios, jobs=2)
+    assert report.executed == 4
+    assert [f.kind for f in report.failures] == ["crash"]
+    assert "exit code 13" in report.failures[0].message
+    assert "debug_exit" in report.failures[0].describe()
+    assert get_pool(2).respawns >= 1
+    # The replacement fleet still serves cells.
+    after = execute([Scenario.make("debug_echo", {"value": 9})], jobs=2)
+    assert not after.failures and after.executed == 1
+
+
+def test_timeout_kills_only_the_offending_worker():
+    scenarios = [Scenario.make("debug_hang", {})] + [
+        Scenario.make("debug_pid", {"tag": i}) for i in range(3)
+    ]
+    report = execute(scenarios, jobs=2, timeout_s=1.5)
+    assert [f.kind for f in report.failures] == ["timeout"]
+    assert "debug_hang" in report.failures[0].describe()
+    # All three echo cells completed on the surviving + replacement
+    # workers.
+    assert report.executed == 3
+
+
+def test_env_change_invalidates_the_pool(monkeypatch):
+    report = execute([Scenario.make("debug_pid", {"tag": 1})], jobs=2)
+    old_pids = _pids(report)
+    old_key = pool_key()
+
+    monkeypatch.setenv("REPRO_POOL_TEST_FLAG", "on")
+    assert pool_key() != old_key
+    fresh = execute([Scenario.make("debug_pid", {"tag": 2})], jobs=2)
+    # New key -> whole fleet restarted: no old worker may serve the cell.
+    assert _pids(fresh).isdisjoint(old_pids)
+
+
+def test_code_digest_change_invalidates_the_pool(monkeypatch):
+    from repro.runner import pool as pool_module
+
+    report = execute([Scenario.make("debug_pid", {"tag": 3})], jobs=2)
+    old_pids = _pids(report)
+
+    monkeypatch.setattr(
+        pool_module, "code_digest", lambda: "deadbeef-src-changed"
+    )
+    fresh = execute([Scenario.make("debug_pid", {"tag": 4})], jobs=2)
+    assert _pids(fresh).isdisjoint(old_pids)
+
+
+def test_pool_payloads_match_serial_reference_bytes():
+    """--jobs N and --jobs 1 must agree byte-for-byte through the pool."""
+    scenarios = [
+        Scenario.make("debug_echo", {"value": i, "sleep_s": 0.0})
+        for i in range(6)
+    ] + [Scenario.make("debug_pid", {"tag": 0})]
+    # debug_pid payloads differ per process by design; compare the
+    # deterministic cells only.
+    deterministic = scenarios[:-1]
+    serial = execute(deterministic, jobs=1)
+    pooled = execute(deterministic, jobs=3)
+    serial_bytes = json.dumps(serial.results, sort_keys=True)
+    pooled_bytes = json.dumps(pooled.results, sort_keys=True)
+    assert serial_bytes == pooled_bytes
+
+
+def test_exception_does_not_cost_a_worker():
+    scenarios = [Scenario.make("debug_crash", {"message": "soft"})] + [
+        Scenario.make("debug_pid", {"tag": i}) for i in range(3)
+    ]
+    report = execute(scenarios, jobs=2)
+    assert [f.kind for f in report.failures] == ["exception"]
+    assert report.executed == 3
+    # A raising cell is reported over the pipe; the worker keeps serving,
+    # so no respawn happened.
+    assert get_pool(2).respawns == 0
+
+
+def test_default_batch_size_scales_with_queue_depth():
+    # Coarse work: one cell per dispatch for best load balance.
+    assert default_batch_size(10, 4) == 1
+    # Deep queues amortize dispatch overhead, capped.
+    assert default_batch_size(1000, 4) == 8
+    assert default_batch_size(100, 4) == 3
+    assert default_batch_size(0, 4) == 1

@@ -5,9 +5,16 @@ as a :class:`CellFailure` carrying the scenario spec — while every other
 cell still completes — and must turn into a non-zero exit at the CLI.
 """
 
+import os
+
 import pytest
 
 from repro.runner import CellFailure, Scenario, ScenarioError, execute
+
+
+def _open_fds():
+    """The set of this process's open file descriptors (Linux)."""
+    return set(os.listdir("/proc/self/fd"))
 
 
 def test_raising_cell_reports_exception_and_spares_others():
@@ -50,6 +57,37 @@ def test_failures_do_not_poison_results_dict():
     report = execute([ok, bad], jobs=1)
     assert bad.digest() not in report.results
     assert report.payload(ok) == {"value": 1}
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/proc/self/fd"), reason="needs /proc (Linux)"
+)
+@pytest.mark.parametrize("pool", [True, False])
+def test_parallel_execute_leaks_no_fds(pool):
+    """Success, exception, crash, and timeout paths all close their pipes.
+
+    The legacy spawn executor leaked the parent's read end of every pipe
+    on the crash/timeout paths; the pool holds one duplex pipe per live
+    worker and must release it on worker replacement. Run a mix of every
+    outcome and require the parent's fd table back at (or below) its
+    starting size once the pool is shut down.
+    """
+    from repro.runner.pool import shutdown_pool
+
+    scenarios = [
+        Scenario.make("debug_echo", {"value": 1, "sleep_s": 0.0}),
+        Scenario.make("debug_crash", {"message": "fd leak probe"}),
+        Scenario.make("debug_exit", {"code": 21}),
+        Scenario.make("debug_hang", {}),
+        Scenario.make("debug_echo", {"value": 2, "sleep_s": 0.0}),
+    ]
+    shutdown_pool()
+    before = _open_fds()
+    for _ in range(3):
+        execute(scenarios, jobs=2, timeout_s=2.0, pool=pool)
+    shutdown_pool()
+    leaked = _open_fds() - before
+    assert not leaked, f"leaked fds after 3 parallel runs: {sorted(leaked)}"
 
 
 def test_cli_exits_nonzero_on_cell_failure(capsys):
