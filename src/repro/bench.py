@@ -51,9 +51,11 @@ __all__ = [
     "CHECK_TOLERANCE",
     "EXPERIMENTS_BENCH_FILE",
     "SERVER_BENCH_FILE",
+    "FLEET_BENCH_FILE",
     "bench_burst",
     "bench_datatree",
     "bench_experiments",
+    "bench_fleet",
     "bench_kernel",
     "bench_tokens",
     "bench_transport",
@@ -68,6 +70,7 @@ __all__ = [
 BENCH_FILE = "BENCH_kernel.json"
 EXPERIMENTS_BENCH_FILE = "BENCH_experiments.json"
 SERVER_BENCH_FILE = "BENCH_server.json"
+FLEET_BENCH_FILE = "BENCH_fleet.json"
 
 # --check fails when normalized events/sec fall more than this fraction
 # below the committed baseline (per-bench overrides in _TOLERANCES).
@@ -435,6 +438,154 @@ def bench_tokens(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
             hub.accept_return(key)
     wall = time.perf_counter() - started
     return {"ops": n_ops, "wall_s": wall, "ops_per_sec": n_ops / wall}
+
+
+# -- fleet-tier memory/throughput benchmark -----------------------------------
+
+
+def bench_fleet(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
+    """Memory/throughput profile of the fleet suite's cells.
+
+    Runs exactly the cells the ``fleet`` experiment suite commits (site
+    sweep + offered-load sweep), measuring per cell: wall-clock seconds,
+    tracemalloc traced peak (the gated number — it counts only Python
+    allocations, so it is stable across machines), sessions per GB of
+    traced peak, and the process ``ru_maxrss`` high-water mark
+    (informational only: it never shrinks and includes the interpreter).
+
+    The anchor cell — the largest session count — is run twice and its
+    payloads compared, so the BENCH file also certifies the fleet tier's
+    determinism contract. Peak-RSS numbers live *here* and never in the
+    deterministic cell payloads.
+    """
+    import resource
+    import tracemalloc
+
+    from repro.runner.cells import CELLS
+    from repro.runner.suites import build_suite
+
+    scenarios = build_suite("fleet", quick, seed)
+    cell_fn = CELLS["fleet"]
+    cells: List[Dict[str, Any]] = []
+    seen = set()
+    anchor = None
+    for scenario in scenarios:
+        digest = scenario.digest()
+        if digest in seen:
+            continue
+        seen.add(digest)
+        kwargs = scenario.kwargs
+        tracemalloc.start()
+        started = time.perf_counter()
+        payload = cell_fn(**kwargs)
+        wall = time.perf_counter() - started
+        _, traced_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        peak_mb = traced_peak / 1e6
+        record = {
+            "label": scenario.label or scenario.cell,
+            "n_sites": payload["n_sites"],
+            "sessions": payload["sessions"],
+            "load_multiplier": kwargs.get("load_multiplier", 1.0),
+            "offered_ops_per_sec": payload["offered_ops_per_sec"],
+            "throughput_ops_per_sec": payload["throughput_ops_per_sec"],
+            "token_migrations": payload["token_migrations"],
+            "write_p99_ms": payload["write_p99_ms"],
+            "wall_s": round(wall, 3),
+            "traced_peak_mb": round(peak_mb, 3),
+            "sessions_per_gb": (
+                round(payload["sessions"] / (peak_mb / 1000.0), 1)
+                if peak_mb
+                else None
+            ),
+            "rss_peak_mb": round(rss_kb / 1024.0, 1),
+        }
+        cells.append(record)
+        if anchor is None or payload["sessions"] > anchor[1]["sessions"]:
+            anchor = (scenario, payload)
+
+    # Determinism certificate: re-run the anchor cell and compare.
+    anchor_scenario, anchor_payload = anchor
+    rerun = cell_fn(**anchor_scenario.kwargs)
+    deterministic = json.dumps(rerun, sort_keys=True) == json.dumps(
+        anchor_payload, sort_keys=True
+    )
+    return {
+        "quick": quick,
+        "seed": seed,
+        "cells": cells,
+        "max_sessions": max(cell["sessions"] for cell in cells),
+        "max_traced_peak_mb": max(cell["traced_peak_mb"] for cell in cells),
+        "anchor_label": anchor_scenario.label or anchor_scenario.cell,
+        "deterministic": deterministic,
+    }
+
+
+#: --fleet --check ceilings: traced peak per cell (catches per-session
+#: object or per-op tuple regressions — the committed cells sit well
+#: under 10 MB) and a generous absolute RSS backstop for CI memory
+#: limits. The session floor certifies the acceptance criterion.
+FLEET_TRACED_PEAK_CEILING_MB = 48.0
+FLEET_RSS_CEILING_MB = 2048.0
+FLEET_SESSION_FLOOR = {"quick": 10_000, "full": 100_000}
+
+
+def _check_fleet(results: Dict[str, Any]) -> List[str]:
+    failures = []
+    floor = FLEET_SESSION_FLOOR["quick" if results["quick"] else "full"]
+    if results["max_sessions"] < floor:
+        failures.append(
+            f"max_sessions {results['max_sessions']:,} is below the "
+            f"{floor:,} concurrent-session floor"
+        )
+    for cell in results["cells"]:
+        if cell["traced_peak_mb"] > FLEET_TRACED_PEAK_CEILING_MB:
+            failures.append(
+                f"{cell['label']}: traced peak {cell['traced_peak_mb']:.1f} "
+                f"MB exceeds the {FLEET_TRACED_PEAK_CEILING_MB:.0f} MB "
+                "ceiling"
+            )
+        if cell["rss_peak_mb"] > FLEET_RSS_CEILING_MB:
+            failures.append(
+                f"{cell['label']}: rss peak {cell['rss_peak_mb']:.0f} MB "
+                f"exceeds the {FLEET_RSS_CEILING_MB:.0f} MB backstop"
+            )
+    if not results["deterministic"]:
+        failures.append(
+            "anchor cell payloads differ across two runs — the fleet "
+            "engine's determinism contract is broken"
+        )
+    return failures
+
+
+def _format_fleet(results: Dict[str, Any]) -> str:
+    from repro.experiments.common import format_table
+
+    rows = [
+        [
+            cell["label"],
+            f"{cell['sessions']:,}",
+            f"{cell['throughput_ops_per_sec']:,.0f}",
+            cell["token_migrations"],
+            f"{cell['wall_s']:.1f}",
+            f"{cell['traced_peak_mb']:.1f}",
+            f"{cell['sessions_per_gb']:,.0f}",
+        ]
+        for cell in results["cells"]
+    ]
+    suffix = " (quick)" if results.get("quick") else ""
+    table = format_table(
+        ["cell", "sessions", "ops/s", "migr", "wall s", "peak MB",
+         "sessions/GB"],
+        rows,
+        title=f"Fleet tier memory/throughput{suffix}",
+    )
+    table += (
+        f"\nanchor {results['anchor_label']!r} deterministic across "
+        f"re-runs: {results['deterministic']}"
+    )
+    return table
 
 
 # -- experiment-suite runner benchmark ----------------------------------------
@@ -852,6 +1003,14 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help=(
+            "run the fleet-tier memory/throughput benchmark (site + load "
+            f"sweeps, peak-RSS per cell) and write {FLEET_BENCH_FILE} instead"
+        ),
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=0,
@@ -889,6 +1048,53 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=42)
     args = parser.parse_args(argv)
+
+    if args.fleet:
+        results = bench_fleet(quick=args.quick, seed=args.seed)
+        out = args.out if args.out != BENCH_FILE else FLEET_BENCH_FILE
+
+        if args.check:
+            failures = _check_fleet(results)
+            print(_format_fleet(results))
+            if failures:
+                for failure in failures:
+                    print(f"FAIL {failure}")
+                return 1
+            print(
+                f"OK: fleet tier within ceilings "
+                f"({results['max_sessions']:,} sessions, peak "
+                f"{results['max_traced_peak_mb']:.1f} MB traced, "
+                "deterministic)"
+            )
+            return 0
+
+        existing = _load_bench_file(out) or {}
+        payload = {"schema": "bench_fleet/v1"}
+        payload["quick" if args.quick else "full"] = results
+        for key in ("quick", "full"):
+            if key not in payload and key in existing:
+                payload[key] = existing[key]
+        entry = {
+            "commit": _git_commit(),
+            "quick": bool(args.quick),
+            "max_sessions": results["max_sessions"],
+            "max_traced_peak_mb": results["max_traced_peak_mb"],
+            "deterministic": results["deterministic"],
+        }
+        if args.label:
+            entry["label"] = args.label
+        history = list(existing.get("history", []))
+        history.append(entry)
+        payload["history"] = history[-HISTORY_LIMIT:]
+        with open(out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        if args.json:
+            print(json.dumps(results, indent=2))
+        else:
+            print(_format_fleet(results))
+            print(f"wrote {out}")
+        return 0
 
     if args.experiments:
         results = bench_experiments(

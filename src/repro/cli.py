@@ -143,7 +143,21 @@ def _experiments_main(argv: List[str]) -> int:
         help="run every scenario with the online invariant sentinel attached "
         "(any invariant violation fails the run with a trace tail)",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print every registered suite and its cells, then exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(SUITES):
+            scenarios = build_suite(name, args.small, args.seed)
+            marker = "" if name in DEFAULT_SUITE_NAMES else "  (opt-in)"
+            print(f"{name}: {len(scenarios)} cells{marker}")
+            for scenario in scenarios:
+                print(f"  {scenario.describe()}")
+        return 0
 
     if args.sentinel:
         # Worker processes are spawned and inherit os.environ, so setting

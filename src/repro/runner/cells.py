@@ -468,6 +468,45 @@ def cell_soak(
     }
 
 
+# -- fleet-scale cells --------------------------------------------------------
+
+
+def cell_fleet(**kwargs) -> Dict[str, Any]:
+    """One open-loop fleet-tier run (:mod:`repro.fleet`).
+
+    Parameters are :class:`repro.fleet.FleetSpec` fields (all JSON
+    scalars). The payload — throughput, token migrations, latency
+    sketch percentiles, session accounting — is a pure function of the
+    spec: bit-identical across hash seeds and executors, like every
+    other cell.
+    """
+    from repro.fleet import FleetSpec, run_fleet
+
+    return run_fleet(FleetSpec(**kwargs))
+
+
+def cell_fleet_topology(n_sites: int, seed: int = 42) -> Dict[str, Any]:
+    """Fingerprint + shape stats of one generated fleet topology.
+
+    Exists so the cross-executor determinism tests can push topology
+    generation through the pool/spawn workers and compare fingerprints.
+    """
+    from repro.fleet import fleet_sites, fleet_topology, topology_fingerprint
+
+    topology = fleet_topology(n_sites, seed=seed)
+    sites = fleet_sites(n_sites, seed=seed)
+    delays = [delay for _a, _b, delay in topology.wan_pairs()]
+    return {
+        "n_sites": n_sites,
+        "seed": seed,
+        "fingerprint": topology_fingerprint(topology),
+        "continents": len({site.continent for site in sites}),
+        "pairs": len(delays),
+        "min_one_way_ms": min(delays),
+        "max_one_way_ms": max(delays),
+    }
+
+
 # -- fuzz cells ---------------------------------------------------------------
 
 
@@ -545,6 +584,8 @@ CELLS: Dict[str, Callable[..., Any]] = {
     "ablation_read_mode": cell_ablation_read_mode,
     "ablation_hub_placement": cell_ablation_hub_placement,
     "soak": cell_soak,
+    "fleet": cell_fleet,
+    "fleet_topology": cell_fleet_topology,
     "fuzz_case": cell_fuzz_case,
     "debug_echo": cell_debug_echo,
     "debug_crash": cell_debug_crash,

@@ -574,6 +574,113 @@ def _soak_render(small: bool, seed: int, results: Results) -> str:
     )
 
 
+# -- fleet (open-loop planet-scale tier) --------------------------------------
+
+# Site sweep: how throughput and token migration scale with the number
+# of generated sites at fixed per-site offered load. The 20-site full
+# cell is the acceptance anchor: 100k concurrent open-loop sessions.
+_FLEET_SITES_FULL = (8, 20, 32)
+_FLEET_SITES_SMALL = (4, 8)
+# Offered-load sweep at the anchor site count. Per-site service capacity
+# is 1000/service_time_ms ≈ 333 ops/s, so 2.0x load saturates sites at
+# diurnal peaks — the open-loop knee the closed-loop clients can't show.
+_FLEET_LOADS = (0.5, 1.0, 2.0)
+
+
+def _fleet_params(small: bool, seed: int, n_sites: int, load: float) -> Dict:
+    return dict(
+        n_sites=n_sites,
+        sessions_per_site=1250 if small else 5000,
+        duration_ms=20000.0 if small else 60000.0,
+        site_ops_per_sec=100.0 if small else 150.0,
+        load_multiplier=load,
+        seed=seed,
+    )
+
+
+def _fleet_grid(small: bool, seed: int):
+    sites_axis = _FLEET_SITES_SMALL if small else _FLEET_SITES_FULL
+    anchor = sites_axis[-1] if small else 20
+    site_cells = [
+        (
+            n,
+            Scenario.make(
+                "fleet",
+                _fleet_params(small, seed, n, 1.0),
+                suite="fleet",
+                label=f"{n} sites",
+            ),
+        )
+        for n in sites_axis
+    ]
+    load_cells = [
+        (
+            load,
+            Scenario.make(
+                "fleet",
+                _fleet_params(small, seed, anchor, load),
+                suite="fleet",
+                label=f"{anchor} sites @ {load:.1f}x load",
+            ),
+        )
+        for load in _FLEET_LOADS
+    ]
+    return site_cells, load_cells
+
+
+def _fleet_build(small: bool, seed: int) -> List[Scenario]:
+    site_cells, load_cells = _fleet_grid(small, seed)
+    scenarios = [s for _, s in site_cells] + [s for _, s in load_cells]
+    return scenarios
+
+
+def _fleet_render(small: bool, seed: int, results: Results) -> str:
+    site_cells, load_cells = _fleet_grid(small, seed)
+    site_rows = []
+    for n, scenario in site_cells:
+        payload = _get(results, scenario)
+        site_rows.append(
+            [
+                n,
+                payload["sessions"],
+                payload["active_sessions"],
+                payload["offered_ops_per_sec"],
+                payload["throughput_ops_per_sec"],
+                payload["token_migrations"],
+                payload["write_p99_ms"] or 0.0,
+            ]
+        )
+    load_rows = []
+    for load, scenario in load_cells:
+        payload = _get(results, scenario)
+        load_rows.append(
+            [
+                f"{load:.1f}x",
+                payload["offered_ops_per_sec"],
+                payload["throughput_ops_per_sec"],
+                payload["in_flight_at_horizon"],
+                payload["mean_queue_ms"],
+                payload["write_p99_ms"] or 0.0,
+                payload["token_migrations"],
+            ]
+        )
+    return (
+        format_table(
+            ["sites", "sessions", "active", "offered/s", "done/s",
+             "migrations", "write p99 ms"],
+            site_rows,
+            title="Fleet A: throughput & token migration vs site count",
+        )
+        + "\n\n"
+        + format_table(
+            ["load", "offered/s", "done/s", "backlog", "queue ms",
+             "write p99 ms", "migrations"],
+            load_rows,
+            title="Fleet B: open-loop offered-load sweep (saturation knee)",
+        )
+    )
+
+
 # -- registry -----------------------------------------------------------------
 
 SUITES: Dict[
@@ -591,11 +698,14 @@ SUITES: Dict[
     "fig10": (_fig10_build, _fig10_render),
     "ablations": (_ablations_build, _ablations_render),
     "soak": (_soak_build, _soak_render),
+    "fleet": (_fleet_build, _fleet_render),
 }
 
 #: Suites included in ``--all`` (the CLI's historical experiment set;
-#: the soak is opt-in by name).
-DEFAULT_SUITE_NAMES = tuple(sorted(name for name in SUITES if name != "soak"))
+#: the soak and the fleet tier are opt-in by name).
+DEFAULT_SUITE_NAMES = tuple(
+    sorted(name for name in SUITES if name not in ("soak", "fleet"))
+)
 
 
 def suite_names() -> List[str]:

@@ -79,3 +79,16 @@ def test_cli_experiments_sentinel_flag_sets_env(monkeypatch, capsys):
     assert os.environ.get("REPRO_SENTINEL") == "1"
     output = capsys.readouterr().out
     assert "fig5" in output
+
+
+def test_cli_experiments_list_prints_all_suites(capsys):
+    from repro.runner import SUITES
+
+    assert main(["experiments", "--list"]) == 0
+    output = capsys.readouterr().out
+    for name in SUITES:
+        assert f"{name}:" in output
+    # Opt-in suites are flagged, and fleet cells are enumerated.
+    assert "fleet:" in output
+    assert "(opt-in)" in output
+    assert "fleet:20 sites" in output

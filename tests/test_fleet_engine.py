@@ -1,0 +1,123 @@
+"""Fleet session engine: determinism, scale, and model behaviour."""
+
+import json
+import tracemalloc
+
+from repro.fleet import FleetSpec, run_fleet
+
+# Small spec used by most behaviour tests: quick (<1s) but busy enough
+# that every code path (hotspot, migration, queueing, horizon drop) runs.
+_SMALL = dict(n_sites=4, sessions_per_site=500, duration_ms=5000.0, seed=7)
+
+
+def _canon(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def test_repeat_runs_bit_identical():
+    a = run_fleet(FleetSpec(**_SMALL))
+    b = run_fleet(FleetSpec(**_SMALL))
+    assert _canon(a) == _canon(b)
+
+
+def test_seed_changes_payload():
+    a = run_fleet(FleetSpec(**_SMALL))
+    b = run_fleet(FleetSpec(**dict(_SMALL, seed=8)))
+    assert _canon(a) != _canon(b)
+
+
+def test_payload_is_json_plain():
+    payload = run_fleet(FleetSpec(**_SMALL))
+    assert json.loads(_canon(payload)) == json.loads(_canon(payload))
+    assert payload["sessions"] == 4 * 500
+    assert payload["completed_ops"] + payload["in_flight_at_horizon"] == (
+        payload["offered_ops"]
+    )
+
+
+def test_deterministic_arrivals_match_offered_rate():
+    spec = FleetSpec(
+        **dict(_SMALL, arrival="deterministic", diurnal_amplitude=0.0)
+    )
+    payload = run_fleet(spec)
+    expected = spec.site_ops_per_sec * spec.n_sites
+    assert abs(payload["offered_ops_per_sec"] - expected) / expected < 0.01
+
+
+def test_poisson_arrivals_near_offered_rate():
+    payload = run_fleet(FleetSpec(**dict(_SMALL, diurnal_amplitude=0.0)))
+    spec = FleetSpec(**_SMALL)
+    expected = spec.site_ops_per_sec * spec.n_sites
+    assert abs(payload["offered_ops_per_sec"] - expected) / expected < 0.15
+
+
+def test_hotspot_drives_token_migration():
+    hot = run_fleet(FleetSpec(**dict(_SMALL, hotspot_fraction=0.5)))
+    cold = run_fleet(FleetSpec(**dict(_SMALL, hotspot_fraction=0.0)))
+    assert hot["token_migrations"] > 0
+    assert hot["token_migrations"] > cold["token_migrations"]
+    # With no hotspot traffic every write hits the site's home shards,
+    # which it owns from the start.
+    assert cold["forwarded_writes"] == 0
+
+
+def test_overload_builds_queue():
+    # Offered load far beyond 1000/service_time capacity must queue.
+    over = run_fleet(
+        FleetSpec(**dict(_SMALL, load_multiplier=8.0, service_time_ms=3.0))
+    )
+    under = run_fleet(
+        FleetSpec(**dict(_SMALL, load_multiplier=0.2, service_time_ms=3.0))
+    )
+    assert over["mean_queue_ms"] > under["mean_queue_ms"]
+    assert over["in_flight_at_horizon"] > under["in_flight_at_horizon"]
+
+
+def test_migration_threshold_one_migrates_first_touch():
+    eager = run_fleet(FleetSpec(**dict(_SMALL, migration_threshold=1)))
+    lazy = run_fleet(FleetSpec(**dict(_SMALL, migration_threshold=4)))
+    assert eager["token_migrations"] >= lazy["token_migrations"]
+
+
+def test_spec_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        FleetSpec(n_sites=1)
+    with pytest.raises(ValueError):
+        FleetSpec(arrival="uniform")
+    with pytest.raises(ValueError):
+        FleetSpec(shards=4, n_sites=20)
+    with pytest.raises(ValueError):
+        FleetSpec(hub_index=99)
+
+
+def test_hundred_thousand_sessions_memory_lean():
+    """The acceptance cell: 20 sites x 5000 sessions = 10^5 concurrent
+    open-loop sessions, bounded traced peak (array columns + sketches,
+    no per-session objects). Duration is trimmed — memory scales with
+    the session table, not the op count."""
+    spec = FleetSpec(n_sites=20, sessions_per_site=5000, duration_ms=5000.0)
+    assert spec.total_sessions == 100_000
+    tracemalloc.start()
+    payload = run_fleet(spec)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert payload["sessions"] == 100_000
+    assert payload["active_sessions"] > 0
+    # ~12 bytes/session of columns plus recorders; 48 MB is the same
+    # ceiling `repro bench --fleet --check` gates in CI.
+    assert peak < 48 * 1024 * 1024
+
+
+def test_fleet_cell_identical_across_executors():
+    from repro.runner.executor import execute
+    from repro.runner.scenario import Scenario
+
+    scenario = Scenario.make("fleet", dict(_SMALL), suite="fleet")
+    serial = execute([scenario], jobs=1)
+    pooled = execute([scenario], jobs=2, pool=True)
+    spawned = execute([scenario], jobs=2, pool=False)
+    digest = scenario.digest()
+    assert serial.results[digest] == pooled.results[digest]
+    assert serial.results[digest] == spawned.results[digest]

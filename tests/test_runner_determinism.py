@@ -29,8 +29,10 @@ _YCSB_PARAMS = {
 # sha256 of the canonical JSON payload for the cell above. If this
 # changes, simulator behaviour changed: update it deliberately alongside
 # the golden digests in tests/test_perf_golden.py, never casually.
+# Re-pinned alongside the YcsbSpec.value fix (payloads honor the full
+# value_size instead of capping at 16 bytes).
 GOLDEN_YCSB_DIGEST = (
-    "0adf91175473f23db939007b1ca561ad88658f857078bbd157df45445d8b2b34"
+    "cc95478ae91b7adc9fa6d628374fbb5142de3c7b6380c8fb7b0c77d45f6af6b1"
 )
 
 
