@@ -12,15 +12,20 @@ from repro.zk import build_zk_deployment
 
 __all__ = ["SYSTEMS", "World", "build_world", "format_table"]
 
-#: The comparison systems of §IV: plain ZooKeeper with WAN voters,
-#: ZooKeeper with observers, WanKeeper cold, and WanKeeper hot-started.
-SYSTEMS = ("zk", "zk_observer", "wk", "wk_hot")
+#: The comparison systems of §IV — plain ZooKeeper with WAN voters,
+#: ZooKeeper with observers, WanKeeper cold, and WanKeeper hot-started —
+#: plus the WPaxos design point the fig_wpaxos suite compares against:
+#: a flat multi-site ensemble on the multileader substrate, where
+#: per-object ownership (stolen on demand) plays the role of WanKeeper's
+#: tokens and commits for owned objects need only a zone-local quorum.
+SYSTEMS = ("zk", "zk_observer", "wk", "wk_hot", "wpaxos")
 
 SYSTEM_LABELS = {
     "zk": "ZooKeeper",
     "zk_observer": "ZooKeeper+observers",
     "wk": "WanKeeper (cold)",
     "wk_hot": "WanKeeper (hot)",
+    "wpaxos": "WPaxos (multileader)",
 }
 
 
@@ -72,6 +77,20 @@ def build_world(
             voters_in_leader_site=3,
             observer_sites=(CALIFORNIA, FRANKFURT),
             processing_delay_ms=processing_delay_ms,
+        )
+    elif system == "wpaxos":
+        # Same node budget as WanKeeper (three voters per site), one flat
+        # ensemble on the multileader substrate: zones are the sites, so a
+        # locally-owned object commits in an intra-site quorum and only
+        # steals cross the WAN.
+        deployment = build_zk_deployment(
+            env,
+            net,
+            topology,
+            leader_site=VIRGINIA,
+            voting_sites=(VIRGINIA,) * 3 + (CALIFORNIA,) * 3 + (FRANKFURT,) * 3,
+            processing_delay_ms=processing_delay_ms,
+            substrate="wpaxos",
         )
     else:
         deployment = build_wankeeper_deployment(

@@ -280,7 +280,16 @@ class _FleetEngine:
                         streak[shard] = run
             else:
                 latency = self.local_rtt
-            start_service = arrival if arrival > busy else busy
+            # Single-server queue: an op arriving while the server is
+            # busy waits until busy-until. The tie (arrival exactly at
+            # busy-until) starts service at that same instant with zero
+            # queue wait — it is queued behind the op that completes
+            # there, never served concurrently with it, so busy-until
+            # still advances by one full service time per op.
+            if arrival >= busy:
+                start_service = arrival
+            else:
+                start_service = busy
             busy = start_service + service
             queue_wait = start_service - arrival
             self.queue_wait_sum += queue_wait

@@ -29,11 +29,43 @@ __all__ = ["main"]
 
 def _replay(path: str, verbose: bool) -> int:
     from repro.fuzz.case import run_fuzz_case
-    from repro.fuzz.spec import spec_digest
+    from repro.fuzz.spec import (
+        SCHEDULE_KINDS,
+        SPEC_VERSION,
+        spec_digest,
+        validate_spec,
+    )
 
     with open(path, "r", encoding="utf-8") as handle:
         artifact = json.load(handle)
-    spec = artifact["spec"]
+    # Artifacts outlive fuzzer versions: a shrunk finding written before a
+    # schedule-kind or spec-shape change must fail with a diagnosis, not a
+    # KeyError deep inside the harness.
+    spec = artifact.get("spec")
+    if not isinstance(spec, dict):
+        print(
+            f"artifact schema mismatch: {path} has no 'spec' object "
+            "(not a fuzz finding artifact?)",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        validate_spec(spec)
+    except KeyError as exc:
+        print(
+            f"artifact schema mismatch: spec is missing field {exc} "
+            f"(this fuzzer expects spec v{SPEC_VERSION})",
+            file=sys.stderr,
+        )
+        return 1
+    except (TypeError, ValueError) as exc:
+        print(
+            f"artifact schema mismatch: {exc} "
+            f"(this fuzzer expects spec v{SPEC_VERSION}; known schedule "
+            f"kinds: {', '.join(SCHEDULE_KINDS)})",
+            file=sys.stderr,
+        )
+        return 1
     expect: Dict[str, Any] = artifact.get("expect") or {}
     print(f"replaying {path}")
     print(f"  spec digest: {spec_digest(spec)}")

@@ -18,6 +18,13 @@ Checked invariants:
   zxid order (reset on SNAP sync or restart, which legitimately replay);
 * **committed-prefix** — all peers of one ensemble apply the *same*
   transaction at each committed zxid;
+* **object-order / object-agreement** (wpaxos substrate) — each peer
+  applies every object's commits as a contiguous slot sequence, and all
+  peers of one ensemble apply the same transaction at each (object,
+  slot);
+* **single-owner-exclusivity** (wpaxos substrate) — per object, at most
+  one peer ever adopts a given ballot, and adopted ballots strictly
+  increase — the steal-based analogue of single-token-ownership;
 * **no-double-apply** — with the reply cache enabled, no replica applies
   the same ``(session_id, cxid)`` twice (the lossy-soak check, generalized
   into an always-on hook);
@@ -123,6 +130,13 @@ class InvariantSentinel:
         # (server name, token key) -> time of the latest invalidation this
         # server acknowledged (fractional reads, §VI).
         self._lease_invalidated: Dict[Tuple[str, str], float] = {}
+        # --- wpaxos substrate ---
+        # (peer name, object) -> next slot the peer must apply.
+        self._object_applied: Dict[Tuple[str, str], int] = {}
+        # (ensemble id, object, slot) -> digest of the chosen txn.
+        self._object_chosen: Dict[Tuple[int, str, int], str] = {}
+        # (ensemble id, object) -> (last adopted ballot, adopter name).
+        self._object_owner: Dict[Tuple[int, str], Tuple[Any, str]] = {}
 
     # ------------------------------------------------------------- wiring
 
@@ -174,6 +188,76 @@ class InvariantSentinel:
     def on_peer_reset(self, peer) -> None:
         """SNAP sync or restart: the peer legitimately replays from zero."""
         self._peer_applied.pop(peer.name, None)
+
+    # ------------------------------------------------------ wpaxos hooks
+
+    def on_object_commit(self, peer, obj: str, slot: int, ballot,
+                         payload: Any) -> None:
+        """Called by ``WPaxosPeer._apply_ready`` for every applied commit.
+
+        Per-object analogue of :meth:`on_peer_commit`: commits within one
+        object must apply as a contiguous slot sequence on each peer, and
+        every peer must see the same transaction at each (object, slot).
+        Ballots are *not* compared — a slot chosen at one ballot can be
+        re-learned at a thief's higher ballot; the value is what Paxos
+        pins.
+        """
+        self.checks_run += 1
+        applied_key = (peer.name, obj)
+        expected = self._object_applied.get(applied_key, 0)
+        if slot != expected:
+            self._fail(
+                "object-order",
+                f"{peer.name} applied {obj!r} slot {slot} "
+                f"(expected {expected})",
+            )
+        self._object_applied[applied_key] = slot + 1
+        digest = repr(payload)
+        chosen_key = (id(peer.config), obj, slot)
+        prior = self._object_chosen.get(chosen_key)
+        if prior is None:
+            self._object_chosen[chosen_key] = digest
+        elif prior != digest:
+            self._fail(
+                "object-agreement",
+                f"{peer.name} applied a different txn at {obj!r} slot "
+                f"{slot}: {digest[:200]} != first-seen {prior[:200]}",
+            )
+
+    def on_object_owner(self, peer, obj: str, ballot) -> None:
+        """Called by ``WPaxosPeer`` on adopting ownership of ``obj``.
+
+        The steal-based analogue of single-token-ownership: ballots are
+        globally unique (they embed the proposer address), so two peers
+        adopting the same ballot — or an adoption at or below the last
+        adopted ballot — means two owners could commit concurrently.
+        """
+        self.checks_run += 1
+        owner_key = (id(peer.config), obj)
+        prior = self._object_owner.get(owner_key)
+        if prior is not None:
+            last_ballot, last_owner = prior
+            if tuple(ballot) == tuple(last_ballot) and peer.name != last_owner:
+                self._fail(
+                    "single-owner-exclusivity",
+                    f"{peer.name} adopted {obj!r} at ballot {ballot}, "
+                    f"already owned at that ballot by {last_owner}",
+                )
+            if tuple(ballot) <= tuple(last_ballot):
+                self._fail(
+                    "single-owner-exclusivity",
+                    f"{peer.name} adopted {obj!r} at ballot {ballot}, not "
+                    f"above the last adoption {last_ballot} by {last_owner}",
+                )
+        self._object_owner[owner_key] = (tuple(ballot), peer.name)
+
+    def on_object_reset(self, peer) -> None:
+        """WPaxos peer restart: it replays its chosen prefix from zero."""
+        stale = [
+            key for key in self._object_applied if key[0] == peer.name
+        ]
+        for key in stale:
+            del self._object_applied[key]
 
     # ---------------------------------------------------------- zk hooks
 

@@ -561,6 +561,17 @@ def cell_debug_exit(code: int = 17) -> Dict[str, Any]:
     os._exit(code)
 
 
+def cell_debug_quit(message: str = "quitting") -> Dict[str, Any]:
+    """Cell that raises ``SystemExit`` — exercises ack-then-die.
+
+    The pool worker's ``BaseException`` path reports the error over the
+    pipe and then re-raises, so the worker dies *between* cells: the
+    parent must fail only this cell and requeue the rest of the batch,
+    not blame the never-started successor.
+    """
+    raise SystemExit(message)
+
+
 def cell_debug_pid(tag: int = 0) -> Dict[str, Any]:
     """Cell that reports its worker's pid — exercises warm-pool reuse.
 
@@ -592,6 +603,7 @@ CELLS: Dict[str, Callable[..., Any]] = {
     "debug_hang": cell_debug_hang,
     "debug_exit": cell_debug_exit,
     "debug_pid": cell_debug_pid,
+    "debug_quit": cell_debug_quit,
 }
 
 

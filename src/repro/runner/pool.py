@@ -23,8 +23,11 @@ Design points:
   always knows the single in-flight cell.
 * **Failure isolation.** A worker that dies (crash, ``os._exit``, OOM)
   or exceeds the per-cell timeout fails only its *in-flight* cell; the
-  rest of its batch is requeued and the worker is replaced. A raising
-  cell is reported over the pipe and the worker keeps serving.
+  rest of its batch is requeued and the worker is replaced. Workers
+  mark each cell's start with a begin message, so a death *between*
+  cells (previous cell acked, next never started) fails no cell at all
+  — every undelivered spec is requeued. A raising cell is reported over
+  the pipe and the worker keeps serving.
 * **Source-digest invalidation.** The process-wide pool is keyed by the
   ``repro`` source digest plus the ``REPRO_*`` environment (the sentinel
   gate travels by environment into spawned workers); any change shuts
@@ -102,9 +105,12 @@ def _pool_worker(conn) -> None:
     """Worker-process main loop: recv a batch, stream one result per cell.
 
     Messages in: ``("run", [spec_json, ...])`` or ``("exit",)``.
-    Messages out, per cell, in batch order: ``("ok", payload, elapsed_s)``
-    or ``("error", message, traceback_text)``. Any exit without acking the
-    in-flight cell is a crash, detected by the parent via the process.
+    Messages out, per cell, in batch order: ``("begin",)`` as the cell
+    starts, then ``("ok", payload, elapsed_s)`` or ``("error", message,
+    traceback_text)``. The begin marker lets the parent distinguish a
+    death *during* a cell (that cell failed) from a death *between*
+    cells (nothing was in flight — every unacked spec is requeued, none
+    is falsely blamed).
     """
     import importlib
 
@@ -124,6 +130,11 @@ def _pool_worker(conn) -> None:
             if not message or message[0] != "run":
                 break
             for spec_json in message[1]:
+                try:
+                    conn.send(("begin",))
+                except Exception:
+                    # Parent gone; nothing left to report to.
+                    return
                 try:
                     scenario = Scenario.from_spec(json.loads(spec_json))
                     started = time.perf_counter()
@@ -169,22 +180,28 @@ def _pool_worker(conn) -> None:
 class PoolWorker:
     """Parent-side handle: process + pipe + in-flight batch bookkeeping."""
 
-    __slots__ = ("proc", "conn", "assigned", "cell_started")
+    __slots__ = ("proc", "conn", "assigned", "cell_started", "begun")
 
     def __init__(self, proc, conn):
         self.proc = proc
         self.conn = conn
         #: Scenarios dispatched but not yet acked, in execution order;
-        #: ``assigned[0]`` is always the single in-flight cell.
+        #: ``assigned[0]`` is the next cell the worker will run (and the
+        #: in-flight cell once its begin marker arrives).
         self.assigned: Deque[Scenario] = deque()
         #: monotonic() when the in-flight cell started (dispatch time, or
         #: the previous cell's ack) — the per-cell timeout clock.
         self.cell_started = 0.0
+        #: True between ``assigned[0]``'s begin marker and its result: a
+        #: worker death with ``begun`` unset happened *between* cells, so
+        #: no cell is blamed and everything assigned is requeued.
+        self.begun = False
 
     def dispatch(self, batch: List[Scenario]) -> None:
         self.conn.send(("run", [json.dumps(s.spec()) for s in batch]))
         self.assigned = deque(batch)
         self.cell_started = time.monotonic()
+        self.begun = False
 
 
 class WorkerPool:
@@ -363,11 +380,28 @@ def run_pooled(
         pending.extendleft(reversed(rest))
 
     def fail_worker(worker: PoolWorker, kind: str, message: str) -> None:
+        nonlocal barren_respawns
         busy.remove(worker)
-        victim = worker.assigned.popleft()
+        if worker.begun:
+            # Death mid-cell: the in-flight cell is the victim, the rest
+            # of the batch reruns elsewhere.
+            victim = worker.assigned.popleft()
+            requeue_rest(worker)
+            report.failures.append(CellFailure(victim, kind, message))
+            idle.append(pool.replace(worker))
+            return
+        # Death *between* cells (acked the previous cell, never began the
+        # next): nothing was in flight, so no cell failed — requeue every
+        # undelivered spec instead of blaming the head of the batch. The
+        # barren counter keeps a fleet that can never begin from looping.
         requeue_rest(worker)
-        report.failures.append(CellFailure(victim, kind, message))
         idle.append(pool.replace(worker))
+        barren_respawns += 1
+        if barren_respawns > _MAX_BARREN_RESPAWNS:
+            raise RuntimeError(
+                "worker pool cannot make progress "
+                f"({barren_respawns} consecutive between-cell respawns)"
+            )
 
     while pending or busy:
         while pending and idle:
@@ -411,7 +445,12 @@ def run_pooled(
                     continue
                 progressed = True
                 barren_respawns = 0
+                if message[0] == "begin":
+                    worker.begun = True
+                    worker.cell_started = time.monotonic()
+                    continue
                 scenario = worker.assigned.popleft()
+                worker.begun = False
                 worker.cell_started = time.monotonic()
                 if message[0] == "ok":
                     _status, payload, elapsed = message

@@ -519,6 +519,165 @@ def _ablations_render(small: bool, seed: int, results: Results) -> str:
     return "\n\n".join(parts)
 
 
+# -- fig_wpaxos (substrate comparison) ----------------------------------------
+
+# WanKeeper's hierarchical token design vs the WPaxos design point: a flat
+# multi-site ensemble on the multileader substrate, where per-object
+# ownership plays the role of tokens and owned-object commits need only a
+# zone-local quorum. Reuses the fig4/fig6/fig7 workloads so the comparison
+# rides the exact cells the paper figures use.
+
+_WPX_SYSTEMS = ("wk", "wpaxos")
+_WPX_FRACTIONS = (0.05, 0.25, 0.5)
+_WPX_SETUPS = ("wk", "wk_hot", "wpaxos")
+_WPX_OVERLAPS = (0.0, 0.5, 1.0)
+
+
+def _wpaxos_grid(small: bool, seed: int) -> Dict[str, List[Tuple]]:
+    wr_records = 200 if small else 600
+    wr_ops = 1200 if small else 5000
+    f6_records = 200 if small else 600
+    f6_ops = 800 if small else 2500
+    f7_records = 150 if small else 400
+    f7_ops = 600 if small else 2000
+    grid: Dict[str, List[Tuple]] = {}
+    grid["write_ratio"] = [
+        (
+            system,
+            fraction,
+            Scenario.make(
+                "ycsb_write_ratio",
+                dict(
+                    system=system,
+                    write_fraction=fraction,
+                    seed=seed,
+                    record_count=wr_records,
+                    operation_count=wr_ops,
+                ),
+                suite="fig_wpaxos",
+                label=f"{system}@{fraction:.0%}",
+            ),
+        )
+        for system in _WPX_SYSTEMS
+        for fraction in _WPX_FRACTIONS
+    ]
+    grid["disjoint"] = [
+        (
+            setup,
+            Scenario.make(
+                "fig6",
+                dict(
+                    setup=setup,
+                    seed=seed,
+                    record_count=f6_records,
+                    operations_per_client=f6_ops,
+                    write_fraction=0.5,
+                ),
+                suite="fig_wpaxos",
+                label=f"disjoint/{setup}",
+            ),
+        )
+        for setup in _WPX_SETUPS
+    ]
+    grid["contention"] = [
+        (
+            system,
+            overlap,
+            Scenario.make(
+                "fig7",
+                dict(
+                    system=system,
+                    overlap=overlap,
+                    seed=seed,
+                    record_count=f7_records,
+                    operations_per_client=f7_ops,
+                ),
+                suite="fig_wpaxos",
+                label=f"contention/{system}@{overlap:.0%}",
+            ),
+        )
+        for system in _WPX_SYSTEMS
+        for overlap in _WPX_OVERLAPS
+    ]
+    return grid
+
+
+def _wpaxos_build(small: bool, seed: int) -> List[Scenario]:
+    grid = _wpaxos_grid(small, seed)
+    return [
+        cell[-1]
+        for part in ("write_ratio", "disjoint", "contention")
+        for cell in grid[part]
+    ]
+
+
+def _wpaxos_render(small: bool, seed: int, results: Results) -> str:
+    grid = _wpaxos_grid(small, seed)
+    wr_cells = {
+        (system, fraction): _get(results, s)
+        for system, fraction, s in grid["write_ratio"]
+    }
+    wr_rows = []
+    for fraction in _WPX_FRACTIONS:
+        row = [f"{fraction:.0%}"]
+        for system in _WPX_SYSTEMS:
+            row.append(wr_cells[(system, fraction)]["throughput"])
+        for system in _WPX_SYSTEMS:
+            row.append(wr_cells[(system, fraction)]["write_mean_ms"] or 0.0)
+        wr_rows.append(row)
+    disjoint_rows = []
+    for setup, scenario in grid["disjoint"]:
+        payload = _get(results, scenario)
+        disjoint_rows.append(
+            [
+                setup,
+                payload["total_throughput"],
+                payload["per_site_throughput"]["california"],
+                payload["per_site_throughput"]["frankfurt"],
+                payload["write_mean_ms"],
+            ]
+        )
+    contention_cells = {
+        (system, overlap): _get(results, s)
+        for system, overlap, s in grid["contention"]
+    }
+    contention_rows = [
+        [f"{overlap:.0%}"]
+        + [
+            contention_cells[(system, overlap)]["total_throughput"]
+            for system in _WPX_SYSTEMS
+        ]
+        + [
+            contention_cells[(system, overlap)]["write_mean_ms"]
+            for system in _WPX_SYSTEMS
+        ]
+        for overlap in _WPX_OVERLAPS
+    ]
+    return (
+        format_table(
+            ["write%"]
+            + [f"{s} ops/s" for s in _WPX_SYSTEMS]
+            + [f"{s} wr ms" for s in _WPX_SYSTEMS],
+            wr_rows,
+            title="WPaxos A: remote-writer YCSB sweep (fig4 workload)",
+        )
+        + "\n\n"
+        + format_table(
+            ["setup", "total ops/s", "CA", "FR", "write ms"],
+            disjoint_rows,
+            title="WPaxos B: two-site disjoint access (fig6 workload)",
+        )
+        + "\n\n"
+        + format_table(
+            ["overlap"]
+            + [f"{s} ops/s" for s in _WPX_SYSTEMS]
+            + [f"{s} wr ms" for s in _WPX_SYSTEMS],
+            contention_rows,
+            title="WPaxos C: contention sweep (fig7 workload)",
+        )
+    )
+
+
 # -- soak ---------------------------------------------------------------------
 
 
@@ -697,14 +856,16 @@ SUITES: Dict[
     "fig8": (_fig8_build, _fig8_render),
     "fig10": (_fig10_build, _fig10_render),
     "ablations": (_ablations_build, _ablations_render),
+    "fig_wpaxos": (_wpaxos_build, _wpaxos_render),
     "soak": (_soak_build, _soak_render),
     "fleet": (_fleet_build, _fleet_render),
 }
 
 #: Suites included in ``--all`` (the CLI's historical experiment set;
-#: the soak and the fleet tier are opt-in by name).
+#: the soak, the fleet tier and the substrate comparison are opt-in
+#: by name).
 DEFAULT_SUITE_NAMES = tuple(
-    sorted(name for name in SUITES if name not in ("soak", "fleet"))
+    sorted(name for name in SUITES if name not in ("soak", "fleet", "fig_wpaxos"))
 )
 
 

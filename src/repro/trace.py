@@ -12,8 +12,8 @@ Events are plain tuples ``(seq, t, cat, kind, node, detail)``:
 
 * ``seq``    — monotonically increasing sequence number (global per buffer);
 * ``t``      — simulated time in ms;
-* ``cat``    — layer: ``kernel`` | ``net`` | ``zab`` | ``zk`` | ``wan`` |
-  ``nemesis``;
+* ``cat``    — layer: ``kernel`` | ``net`` | ``zab`` | ``wpaxos`` |
+  ``zk`` | ``wan`` | ``nemesis``;
 * ``kind``   — event name within the layer (``apply``, ``token-grant``, …);
 * ``node``   — the emitting component's name;
 * ``detail`` — a small dict of event-specific fields (JSON-safe scalars,

@@ -203,8 +203,15 @@ def build_wankeeper_deployment(
     read_mode: str = "local",
     read_lease_ms: float = 3000.0,
     enable_l2_failover: bool = False,
+    substrate: str = "zab",
 ) -> WanKeeperDeployment:
-    """Build a WanKeeper deployment: one ensemble per site, hub at l2_site."""
+    """Build a WanKeeper deployment: one ensemble per site, hub at l2_site.
+
+    ``substrate`` selects the broadcast protocol under every site
+    ensemble (must be single-leader; see :mod:`repro.substrate`). The
+    shared :class:`WanConfig` carries it so dynamically added sites
+    (:meth:`WanKeeperDeployment.add_site`) build on the same substrate.
+    """
     sites = tuple(sites if sites is not None else topology.site_names())
     if l2_site not in sites:
         raise ValueError(f"l2 site {l2_site!r} not among sites {sites}")
@@ -243,6 +250,7 @@ def build_wankeeper_deployment(
         read_lease_ms=read_lease_ms,
         enable_l2_failover=enable_l2_failover,
         site_server_addrs=site_server_addrs,
+        substrate=substrate,
     )
 
     servers: List[WanKeeperServer] = []

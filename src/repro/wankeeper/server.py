@@ -132,8 +132,20 @@ class WanConfig:
     site_server_addrs: Dict[str, Tuple[NodeAddress, ...]] = field(
         default_factory=dict
     )
+    #: Broadcast substrate under each site ensemble (repro.substrate).
+    #: The broker layer keys its request processors off "the site leader",
+    #: so only single-leader substrates are compatible.
+    substrate: str = "zab"
 
     def __post_init__(self) -> None:
+        from repro.substrate import get_substrate
+
+        if not get_substrate(self.substrate).single_leader:
+            raise ValueError(
+                f"WanKeeper needs a single-leader substrate; "
+                f"{self.substrate!r} is multileader (use the flat ZK "
+                f"deployment for it)"
+            )
         if self.l2_site not in self.sites:
             raise ValueError(f"l2 site {self.l2_site!r} not among sites")
         if self.read_mode not in ("local", "forward", "fractional"):
@@ -180,7 +192,10 @@ class WanKeeperServer(ZkServer):
         wan: WanConfig,
         name: str = "",
     ):
-        super().__init__(env, net, zab_addr, client_addr, config, name=name)
+        super().__init__(
+            env, net, zab_addr, client_addr, config, name=name,
+            substrate=wan.substrate,
+        )
         self.wan = wan
 
         # ---- replicated-derived state (recovered by applying the log) ----

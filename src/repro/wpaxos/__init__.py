@@ -1,0 +1,11 @@
+"""WPaxos: multileader consensus with per-object ownership and stealing.
+
+The first alternate broadcast substrate (see :mod:`repro.substrate`):
+WAN writes to an owned object commit in a zone-local quorum; ownership
+moves via phase-1 ballot takeover ("object stealing") instead of
+WanKeeper's token grant/recall. Based on arXiv 1703.08905.
+"""
+
+from repro.wpaxos.peer import META_OBJECT, WPaxosPeer
+
+__all__ = ["WPaxosPeer", "META_OBJECT"]

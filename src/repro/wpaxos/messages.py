@@ -1,0 +1,127 @@
+"""WPaxos wire messages.
+
+Ballots are ``(n, owner)`` pairs with ``owner`` the proposing voter's
+address rendered as a string, so ballots from different voters never tie
+and compare deterministically. Slots are per-object log positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.net.topology import NodeAddress
+
+__all__ = [
+    "Ballot",
+    "Prepare",
+    "Promise",
+    "Reject",
+    "Accept",
+    "Accepted",
+    "Learn",
+    "SubmitReq",
+    "ResyncReq",
+    "ResyncRsp",
+]
+
+#: ``(n, owner_str)`` — lexicographic order; owner_str breaks ties.
+Ballot = Tuple[int, str]
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Phase-1a: ``src`` tries to take ownership of ``obj`` at ``ballot``.
+
+    ``applied`` is the stealer's contiguous chosen prefix for ``obj`` so
+    promisers can piggyback any chosen entries the stealer is missing.
+    """
+
+    obj: str
+    ballot: Ballot
+    src: NodeAddress
+    applied: int
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Phase-1b grant: promiser will reject ballots below ``ballot``.
+
+    ``accepted`` carries the promiser's accepted-but-unchosen entries for
+    ``obj`` as ``(slot, ballot, txn)`` triples; ``chosen`` carries chosen
+    entries at or above the stealer's ``applied`` mark.
+    """
+
+    obj: str
+    ballot: Ballot
+    src: NodeAddress
+    accepted: Tuple[Tuple[int, Ballot, Any], ...]
+    chosen: Tuple[Tuple[int, Ballot, Any], ...]
+
+
+@dataclass(frozen=True)
+class Reject:
+    """Phase-1b refusal: ``promised`` is the ballot that outranks the bid."""
+
+    obj: str
+    ballot: Ballot
+    src: NodeAddress
+    promised: Ballot
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Phase-2a from the object owner to its zone quorum."""
+
+    obj: str
+    ballot: Ballot
+    slot: int
+    txn: Any
+    src: NodeAddress
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """Phase-2b ack."""
+
+    obj: str
+    ballot: Ballot
+    slot: int
+    src: NodeAddress
+
+
+@dataclass(frozen=True)
+class Learn:
+    """Commit notification fanned out to every member (learners included)."""
+
+    obj: str
+    ballot: Ballot
+    slot: int
+    txn: Any
+    src: NodeAddress
+
+
+@dataclass(frozen=True)
+class SubmitReq:
+    """A transaction forwarded by an observer (or any non-proposer)."""
+
+    src: NodeAddress
+    txn: Any
+
+
+@dataclass(frozen=True)
+class ResyncReq:
+    """Catch-up request: ``versions`` maps objects to the requester's
+    contiguous chosen prefix, as a sorted ``(obj, next_slot)`` tuple.
+    Objects the requester has never heard of are implicitly at 0."""
+
+    src: NodeAddress
+    versions: Tuple[Tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class ResyncRsp:
+    """Catch-up reply: chosen entries the requester was missing."""
+
+    src: NodeAddress
+    entries: Tuple[Tuple[str, int, Ballot, Any], ...]

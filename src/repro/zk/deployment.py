@@ -36,6 +36,7 @@ class ZkDeployment:
     config: EnsembleConfig
     servers: List[ZkServer]
     sentinel: Optional[object] = None
+    substrate: str = "zab"
     _clients: List[ZkClient] = field(default_factory=list)
     _client_counter: int = 0
 
@@ -108,6 +109,7 @@ def build_zk_deployment(
     heartbeat_interval_ms: float = 50.0,
     election_timeout_ms: float = 300.0,
     processing_delay_ms: float = 0.02,
+    substrate: str = "zab",
 ) -> ZkDeployment:
     """Build one of the two baseline deployments.
 
@@ -116,9 +118,14 @@ def build_zk_deployment(
     Otherwise ``voters_in_leader_site`` voters are placed in
     ``leader_site``. ``observer_sites`` each get one observer.
 
-    The leader lands in ``leader_site`` because election ties break toward
-    the highest (zxid, address), and the leader-site voter is given the
-    lexicographically greatest name.
+    ``substrate`` picks the broadcast protocol underneath every server
+    (see :mod:`repro.substrate`): ``"zab"`` (default, single elected
+    leader) or ``"wpaxos"`` (multileader; every voter proposes for the
+    objects it owns, so ``leader_site`` only shapes naming).
+
+    Under zab the leader lands in ``leader_site`` because election ties
+    break toward the highest (zxid, address), and the leader-site voter
+    is given the lexicographically greatest name.
     """
     voter_addrs: List[NodeAddress] = []
     if voting_sites is not None:
@@ -157,9 +164,12 @@ def build_zk_deployment(
             ZkServer(
                 env, net, zab_addr, client_addr, config,
                 name=f"{zab_addr.site}/{client_name}",
+                substrate=substrate,
             )
         )
 
-    deployment = ZkDeployment(env, net, topology, config, servers)
+    deployment = ZkDeployment(
+        env, net, topology, config, servers, substrate=substrate
+    )
     deployment.sentinel = maybe_attach_sentinel(deployment)
     return deployment

@@ -1,7 +1,11 @@
-"""The coordination server: request-processor chain over a Zab peer.
+"""The coordination server: request-processor chain over a broadcast peer.
 
 Each server owns two network endpoints (as ZooKeeper uses two ports): the
-Zab peer's address for ensemble traffic and a client address for sessions.
+substrate peer's address for ensemble traffic and a client address for
+sessions. The broadcast layer underneath is pluggable (see
+:mod:`repro.substrate`): Zab by default, WPaxos as the multileader
+alternative — the server only ever talks to the peer contract
+(``submit``/``forward_submit``/``on_commit``/leadership properties).
 The request path mirrors ZooKeeper's processor chain:
 
 * reads  — served from the local tree after a small processing delay
@@ -23,8 +27,9 @@ from repro.net.topology import NodeAddress
 from repro.net.transport import Network
 from repro.sim.kernel import Environment, Interrupt
 from repro.sim.store import StoreClosed
+from repro.substrate import create_peer
 from repro.zab.config import EnsembleConfig
-from repro.zab.peer import PeerState, ZabPeer
+from repro.zab.peer import PeerState
 from repro.zab.zxid import Zxid
 from repro.zk.data_tree import ApplyOutcome, DataTree
 from repro.zk.ops import (
@@ -70,6 +75,7 @@ class ZkServer:
         client_addr: NodeAddress,
         config: EnsembleConfig,
         name: str = "",
+        substrate: str = "zab",
     ):
         if zab_addr.site != client_addr.site:
             raise ValueError("zab and client endpoints must share a site")
@@ -79,8 +85,12 @@ class ZkServer:
         self.name = name or str(client_addr)
         self.site = client_addr.site
         self.client_addr = client_addr
+        self.substrate = substrate
 
-        self.peer = ZabPeer(env, net, zab_addr, config, name=f"{self.name}.zab")
+        self.peer = create_peer(
+            substrate, env, net, zab_addr, config,
+            name=f"{self.name}.{substrate}",
+        )
         self.peer.on_commit = self._on_commit
         self.peer.on_reset = self._on_tree_reset
 
@@ -519,7 +529,7 @@ class ZkServer:
             return  # system txn or a retry the client abandoned
         self.net.send(self.client_addr, client, reply)
 
-    def _on_tree_reset(self, _peer: ZabPeer) -> None:
+    def _on_tree_reset(self, _peer: Any) -> None:
         """SNAP sync rewrote the log: rebuild the tree from zero.
 
         The reply cache and the apply-count probe are derived from the

@@ -73,6 +73,37 @@ def test_overload_builds_queue():
     assert over["in_flight_at_horizon"] > under["in_flight_at_horizon"]
 
 
+def test_busy_until_tie_queues_with_zero_wait():
+    """Arrivals landing exactly on a site's busy-until instant queue
+    deterministically with zero wait — never double-served, never
+    delayed. Deterministic arrivals with spacing == service time make
+    every op after a site's first hit the tie exactly (all instants are
+    multiples of 2.5 ms, bit-exact in binary floating point)."""
+    tie = FleetSpec(
+        n_sites=2,
+        sessions_per_site=50,
+        duration_ms=2000.0,
+        tick_ms=100.0,
+        site_ops_per_sec=200.0,  # 20/tick -> spacing 5.0 == service
+        service_time_ms=5.0,
+        arrival="deterministic",
+        diurnal_amplitude=0.0,
+        hotspot_fraction=0.0,
+        write_fraction=0.0,
+        seed=11,
+    )
+    payload = run_fleet(tie)
+    # Back-to-back service: each op starts exactly when its predecessor
+    # ends, so nothing waits (and nothing is served concurrently — the
+    # busy-until chain advances one full service time per op).
+    assert payload["mean_queue_ms"] == 0.0
+    assert payload["offered_ops"] == 2 * 20 * 20  # sites x ticks x per-tick
+    # The tie is the exact boundary between idle and queued: any spacing
+    # shortfall must surface as real queueing delay.
+    crowded = run_fleet(FleetSpec(**dict(tie.as_params(), service_time_ms=5.5)))
+    assert crowded["mean_queue_ms"] > 0.0
+
+
 def test_migration_threshold_one_migrates_first_touch():
     eager = run_fleet(FleetSpec(**dict(_SMALL, migration_threshold=1)))
     lazy = run_fleet(FleetSpec(**dict(_SMALL, migration_threshold=4)))

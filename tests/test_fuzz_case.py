@@ -1,5 +1,7 @@
 """Fuzz-case harness tests: determinism, verdict classes, hang detection."""
 
+import json
+
 from repro.fuzz.case import run_fuzz_case
 from repro.fuzz.coverage import CoverageMap, case_coverage
 from repro.fuzz.generate import generate_case
@@ -41,6 +43,27 @@ def test_sim_time_hang_detection():
     payload = run_fuzz_case(spec)
     assert payload["status"] == "hang"
     assert payload["sim_time_ms"] <= 3000.0 + 1000.0
+
+
+def test_replay_rejects_stale_artifact_with_schema_mismatch(tmp_path, capsys):
+    """An artifact whose shrunk schedule uses a fault kind this fuzzer no
+    longer knows must fail with a diagnosis, not a KeyError."""
+    from repro.fuzz.cli import main
+
+    spec = generate_case(5, 3)
+    spec["schedule"] = [{"kind": "clock-skew", "at": 100.0}]
+    stale = tmp_path / "finding-stale.json"
+    stale.write_text(json.dumps({"spec": spec, "expect": {"status": "ok"}}))
+    assert main(["--replay", str(stale)]) == 1
+    err = capsys.readouterr().err
+    assert "artifact schema mismatch" in err
+    assert "clock-skew" in err
+
+    # An artifact that is not a finding at all (no spec object).
+    bogus = tmp_path / "not-a-finding.json"
+    bogus.write_text(json.dumps({"hello": "world"}))
+    assert main(["--replay", str(bogus)]) == 1
+    assert "artifact schema mismatch" in capsys.readouterr().err
 
 
 def test_case_coverage_tokens_and_transitions():

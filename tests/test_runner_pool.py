@@ -58,6 +58,37 @@ def test_worker_death_mid_cell_fails_only_that_cell_and_respawns():
     assert not after.failures and after.executed == 1
 
 
+def test_death_between_cells_requeues_rest_of_batch():
+    """A worker that acks a cell and then dies before *starting* the next
+    (SystemExit: the worker reports the error, then exits) must neither
+    blame nor drop the never-started remainder of its batch."""
+    from repro.runner.executor import ExecutionReport
+    from repro.runner.pool import run_pooled
+
+    scenarios = [Scenario.make("debug_quit", {"message": "bye"})] + [
+        Scenario.make("debug_echo", {"value": i, "sleep_s": 0.0})
+        for i in range(2)
+    ]
+    report = ExecutionReport(jobs=1)
+    run_pooled(
+        scenarios,
+        jobs=1,
+        cache=None,
+        timeout_s=30.0,
+        report=report,
+        say=lambda _msg: None,
+        batch_size=3,  # one batch: quit + both echoes on one worker
+    )
+    # The SystemExit cell fails as a reported exception — and only it;
+    # the death happened between cells, so no spurious "crash" victim.
+    assert [f.kind for f in report.failures] == ["exception"]
+    assert "debug_quit" in report.failures[0].describe()
+    # Both echo cells were requeued and completed on the replacement.
+    assert report.executed == 2
+    assert sorted(p["value"] for p in report.results.values()) == [0, 1]
+    assert get_pool(1).respawns >= 1
+
+
 def test_timeout_kills_only_the_offending_worker():
     scenarios = [Scenario.make("debug_hang", {})] + [
         Scenario.make("debug_pid", {"tag": i}) for i in range(3)
