@@ -56,6 +56,7 @@ __all__ = [
     "bench_datatree",
     "bench_experiments",
     "bench_fleet",
+    "bench_fleet_full",
     "bench_kernel",
     "bench_tokens",
     "bench_transport",
@@ -519,6 +520,134 @@ def bench_fleet(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
         "max_traced_peak_mb": max(cell["traced_peak_mb"] for cell in cells),
         "anchor_label": anchor_scenario.label or anchor_scenario.cell,
         "deterministic": deterministic,
+        "full_stack": bench_fleet_full(quick=quick, seed=seed),
+    }
+
+
+# -- full-stack fleet benchmark -----------------------------------------------
+
+
+#: The sparse-arrival cell demonstrating idle-gap fast-forward: 600k
+#: 0.1 ms ticks over one simulated minute with ~2 offered ops/s across
+#: all eight sites, so nearly every tick is quiescent. The naive driver
+#: pays one kernel wake per tick; fast-forward walks the tick grid
+#: inline and only touches the kernel for real arrivals.
+FLEET_FULL_SPARSE_PARAMS: Dict[str, Any] = dict(
+    n_sites=8,
+    sessions_per_site=64,
+    duration_ms=60000.0,
+    tick_ms=0.1,
+    site_ops_per_sec=0.25,
+    diurnal_amplitude=0.0,
+)
+
+
+def bench_fleet_full(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
+    """Full-stack fleet benchmark: the real protocol stack at 10^4 sessions.
+
+    Three measurements:
+
+    * **anchor** — 8 sites x 1250 *real* sessions against the
+      WanKeeper/zab deployment: wall clock, tracemalloc traced peak,
+      sessions per GB of traced peak, plus a re-run determinism check.
+      Quick mode shortens the driven window but keeps the full session
+      count, so the 10^4-session floor is certified on every CI run.
+    * **load knee** — offered-load multipliers over the same shape; the
+      throughput-vs-offered-load rows show where the real stack's
+      completed rate falls away from the offered rate.
+    * **fast-forward pair** — the sparse-arrival cell run with idle-gap
+      fast-forward on and off. The payloads must be bit-identical (the
+      two drivers perform the same draws in the same order) and the
+      wall-clock ratio is the committed speedup number.
+    """
+    import resource
+    import tracemalloc
+
+    from repro.fleet import FleetFullSpec, run_fleet_full
+
+    def run_cell(params: Dict[str, Any], trace: bool = False):
+        spec = FleetFullSpec(seed=seed, **params)
+        if trace:
+            tracemalloc.start()
+        started = time.perf_counter()
+        payload = run_fleet_full(spec)
+        wall = time.perf_counter() - started
+        peak_mb = None
+        if trace:
+            _, traced_peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            peak_mb = traced_peak / 1e6
+        return payload, wall, peak_mb
+
+    anchor_params = dict(
+        n_sites=8,
+        sessions_per_site=1250,
+        duration_ms=6000.0 if quick else 15000.0,
+    )
+    anchor, anchor_wall, anchor_peak = run_cell(anchor_params, trace=True)
+    rerun, _, _ = run_cell(anchor_params)
+    deterministic = json.dumps(rerun, sort_keys=True) == json.dumps(
+        anchor, sort_keys=True
+    )
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    knee = []
+    for load in (0.5, 1.0, 2.0):
+        payload, wall, _ = run_cell(
+            dict(
+                n_sites=8,
+                sessions_per_site=250 if quick else 1250,
+                duration_ms=5000.0 if quick else 15000.0,
+                load_multiplier=load,
+            )
+        )
+        knee.append(
+            {
+                "load_multiplier": load,
+                "offered_ops_per_sec": payload["offered_ops_per_sec"],
+                "throughput_ops_per_sec": payload["throughput_ops_per_sec"],
+                "in_flight_at_horizon": payload["in_flight_at_horizon"],
+                "write_p99_ms": payload["write_p99_ms"],
+                "wall_s": round(wall, 3),
+            }
+        )
+
+    sparse = dict(FLEET_FULL_SPARSE_PARAMS)
+    ff_payload, ff_wall, _ = run_cell({**sparse, "fast_forward": True})
+    naive_payload, naive_wall, _ = run_cell({**sparse, "fast_forward": False})
+    return {
+        "quick": quick,
+        "seed": seed,
+        "anchor": {
+            "system": anchor["system"],
+            "substrate": anchor["substrate"],
+            "n_sites": anchor["n_sites"],
+            "sessions": anchor["sessions"],
+            "offered_ops_per_sec": anchor["offered_ops_per_sec"],
+            "throughput_ops_per_sec": anchor["throughput_ops_per_sec"],
+            "token_migrations": anchor["token_migrations"],
+            "messages_sent": anchor["messages_sent"],
+            "write_p99_ms": anchor["write_p99_ms"],
+            "wall_s": round(anchor_wall, 3),
+            "traced_peak_mb": round(anchor_peak, 3),
+            "sessions_per_gb": (
+                round(anchor["sessions"] / (anchor_peak / 1000.0), 1)
+                if anchor_peak
+                else None
+            ),
+            "rss_peak_mb": round(rss_kb / 1024.0, 1),
+        },
+        "deterministic": deterministic,
+        "load_knee": knee,
+        "fast_forward": {
+            "cell": sparse,
+            "ticks": int(round(sparse["duration_ms"] / sparse["tick_ms"])),
+            "completed_ops": ff_payload["completed_ops"],
+            "wall_s": round(ff_wall, 3),
+            "naive_wall_s": round(naive_wall, 3),
+            "speedup": round(naive_wall / ff_wall, 2) if ff_wall else None,
+            "payloads_identical": ff_payload == naive_payload,
+        },
     }
 
 
@@ -529,6 +658,19 @@ def bench_fleet(quick: bool = False, seed: int = 42) -> Dict[str, Any]:
 FLEET_TRACED_PEAK_CEILING_MB = 48.0
 FLEET_RSS_CEILING_MB = 2048.0
 FLEET_SESSION_FLOOR = {"quick": 10_000, "full": 100_000}
+
+#: Full-stack gates. The anchor must keep >= 10^4 *real* concurrent
+#: sessions at >= 8 sites within the traced-peak ceiling; sessions/GB
+#: certifies the flyweight-session design (measured ~700k/GB, floored
+#: far below to absorb machine variance); the wall ceiling is a
+#: generous runaway guard (the committed anchor runs in a few seconds).
+#: The fast-forward speedup floor is only asserted on full (non-quick)
+#: runs, where the timing is long enough to be stable.
+FLEET_FULL_SESSION_FLOOR = 10_000
+FLEET_FULL_TRACED_PEAK_CEILING_MB = 64.0
+FLEET_FULL_SESSIONS_PER_GB_FLOOR = 200_000.0
+FLEET_FULL_WALL_CEILING_S = {"quick": 120.0, "full": 240.0}
+FLEET_FULL_SPEEDUP_FLOOR = 2.0
 
 
 def _check_fleet(results: Dict[str, Any]) -> List[str]:
@@ -555,6 +697,59 @@ def _check_fleet(results: Dict[str, Any]) -> List[str]:
         failures.append(
             "anchor cell payloads differ across two runs — the fleet "
             "engine's determinism contract is broken"
+        )
+    failures += _check_fleet_full(results.get("full_stack"))
+    return failures
+
+
+def _check_fleet_full(full_stack: Optional[Dict[str, Any]]) -> List[str]:
+    if not full_stack:
+        return []
+    failures = []
+    anchor = full_stack["anchor"]
+    wall_key = "quick" if full_stack["quick"] else "full"
+    if anchor["n_sites"] < 8:
+        failures.append(
+            f"full-stack anchor has {anchor['n_sites']} sites (< 8)"
+        )
+    if anchor["sessions"] < FLEET_FULL_SESSION_FLOOR:
+        failures.append(
+            f"full-stack anchor sessions {anchor['sessions']:,} below the "
+            f"{FLEET_FULL_SESSION_FLOOR:,} real-session floor"
+        )
+    if anchor["traced_peak_mb"] > FLEET_FULL_TRACED_PEAK_CEILING_MB:
+        failures.append(
+            f"full-stack anchor traced peak {anchor['traced_peak_mb']:.1f} "
+            f"MB exceeds the {FLEET_FULL_TRACED_PEAK_CEILING_MB:.0f} MB "
+            "ceiling"
+        )
+    sessions_per_gb = anchor["sessions_per_gb"] or 0.0
+    if sessions_per_gb < FLEET_FULL_SESSIONS_PER_GB_FLOOR:
+        failures.append(
+            f"full-stack anchor {sessions_per_gb:,.0f} sessions/GB is "
+            f"below the {FLEET_FULL_SESSIONS_PER_GB_FLOOR:,.0f} floor"
+        )
+    wall_ceiling = FLEET_FULL_WALL_CEILING_S[wall_key]
+    if anchor["wall_s"] > wall_ceiling:
+        failures.append(
+            f"full-stack anchor wall {anchor['wall_s']:.1f}s exceeds the "
+            f"{wall_ceiling:.0f}s ceiling"
+        )
+    if not full_stack["deterministic"]:
+        failures.append(
+            "full-stack anchor payloads differ across two runs — the "
+            "full-stack determinism contract is broken"
+        )
+    ff = full_stack["fast_forward"]
+    if not ff["payloads_identical"]:
+        failures.append(
+            "fast-forward and naive drivers produced different payloads "
+            "on the sparse cell — the two modes' schedules diverged"
+        )
+    if not full_stack["quick"] and (ff["speedup"] or 0.0) < FLEET_FULL_SPEEDUP_FLOOR:
+        failures.append(
+            f"fast-forward speedup {ff['speedup']}x is below the "
+            f"{FLEET_FULL_SPEEDUP_FLOOR:.1f}x floor on the sparse cell"
         )
     return failures
 
@@ -585,6 +780,38 @@ def _format_fleet(results: Dict[str, Any]) -> str:
         f"\nanchor {results['anchor_label']!r} deterministic across "
         f"re-runs: {results['deterministic']}"
     )
+    full_stack = results.get("full_stack")
+    if full_stack:
+        anchor = full_stack["anchor"]
+        knee_rows = [
+            [
+                f"{row['load_multiplier']:.1f}x",
+                f"{row['offered_ops_per_sec']:,.0f}",
+                f"{row['throughput_ops_per_sec']:,.0f}",
+                row["in_flight_at_horizon"],
+                f"{row['write_p99_ms'] or 0.0:.1f}",
+            ]
+            for row in full_stack["load_knee"]
+        ]
+        ff = full_stack["fast_forward"]
+        table += "\n\n" + format_table(
+            ["load", "offered/s", "done/s", "backlog", "write p99 ms"],
+            knee_rows,
+            title=(
+                f"Full stack ({anchor['system']}/{anchor['substrate']}): "
+                f"{anchor['sessions']:,} real sessions, "
+                f"{anchor['n_sites']} sites — "
+                f"wall {anchor['wall_s']:.1f}s, "
+                f"peak {anchor['traced_peak_mb']:.1f} MB, "
+                f"{anchor['sessions_per_gb']:,.0f} sessions/GB"
+            ),
+        )
+        table += (
+            f"\nfast-forward on sparse cell ({ff['ticks']:,} ticks): "
+            f"{ff['wall_s']:.2f}s vs naive {ff['naive_wall_s']:.2f}s = "
+            f"{ff['speedup']}x, payloads identical: "
+            f"{ff['payloads_identical']}"
+        )
     return table
 
 
@@ -1006,8 +1233,9 @@ def main(argv=None) -> int:
         "--fleet",
         action="store_true",
         help=(
-            "run the fleet-tier memory/throughput benchmark (site + load "
-            f"sweeps, peak-RSS per cell) and write {FLEET_BENCH_FILE} instead"
+            "run the fleet-tier memory/throughput benchmark (mesoscale "
+            "site/load sweeps plus the full-stack anchor, load knee and "
+            f"fast-forward pair) and write {FLEET_BENCH_FILE} instead"
         ),
     )
     parser.add_argument(
@@ -1081,6 +1309,16 @@ def main(argv=None) -> int:
             "max_traced_peak_mb": results["max_traced_peak_mb"],
             "deterministic": results["deterministic"],
         }
+        full_stack = results.get("full_stack")
+        if full_stack:
+            entry["full_stack_sessions"] = full_stack["anchor"]["sessions"]
+            entry["full_stack_wall_s"] = full_stack["anchor"]["wall_s"]
+            entry["full_stack_sessions_per_gb"] = full_stack["anchor"][
+                "sessions_per_gb"
+            ]
+            entry["fast_forward_speedup"] = full_stack["fast_forward"][
+                "speedup"
+            ]
         if args.label:
             entry["label"] = args.label
         history = list(existing.get("history", []))

@@ -13,7 +13,12 @@ top of the same simulation substrate:
   (Poisson or deterministic arrivals per site, with a diurnal
   follow-the-sun modulator) over a sharded key/token space, backed by
   array-columns instead of per-session coroutines so a single run
-  sustains 10^5-10^6 concurrent sessions in tens of megabytes.
+  sustains 10^5-10^6 concurrent sessions in tens of megabytes;
+* :mod:`repro.fleet.full` — the same open-loop arrival machinery
+  injected into a **real** ZK/WanKeeper deployment on either substrate:
+  idle-gap fast-forward, flyweight per-site client stations, and
+  allocation-free messaging make 10^4+ concurrent real sessions
+  affordable.
 
 Everything here is bit-deterministic across PYTHONHASHSEED values and
 across the in-process / warm-pool / spawn executors: all randomness
@@ -22,6 +27,7 @@ path iterates an unordered container.
 """
 
 from repro.fleet.engine import FleetSpec, run_fleet
+from repro.fleet.full import FleetFullSpec, FleetStation, run_fleet_full
 from repro.fleet.topology import (
     CONTINENTS,
     FleetSite,
@@ -33,11 +39,14 @@ from repro.fleet.topology import (
 
 __all__ = [
     "CONTINENTS",
+    "FleetFullSpec",
     "FleetSite",
     "FleetSpec",
+    "FleetStation",
     "build_fleet_topology",
     "fleet_sites",
     "fleet_topology",
     "run_fleet",
+    "run_fleet_full",
     "topology_fingerprint",
 ]

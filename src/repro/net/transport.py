@@ -164,6 +164,19 @@ class Network:
         self._inboxes[addr] = inbox
         return inbox
 
+    def register_alias(self, addr: NodeAddress, inbox: Store) -> None:
+        """Map an extra address onto an already-registered inbox.
+
+        The flyweight client layer gives every logical session its own
+        address (servers key connect-dedup, watches, and expiry notices by
+        client address) while thousands of sessions share one physical
+        inbox store and one consumer callback. Routing, crash state, and
+        FIFO bookkeeping treat an alias exactly like any other address.
+        """
+        if addr in self._inboxes:
+            raise ValueError(f"address already registered: {addr}")
+        self._inboxes[addr] = inbox
+
     def inbox(self, addr: NodeAddress) -> Store:
         return self._inboxes[addr]
 

@@ -6,8 +6,9 @@ reports where the wall-clock goes, two ways:
 * a **top-N hotspot table** (tottime-ordered, like ``pstats``), and
 * a **cumulative-by-module rollup** that buckets every profiled frame
   into one of the repo's layers — ``kernel`` (sim), ``net``, ``zab``,
-  ``zk``, ``wankeeper``, ``workload`` (workloads/experiments/runner),
-  or ``other`` (stdlib and everything else).
+  ``zk``, ``wankeeper``, ``fleet``, ``workload``
+  (workloads/experiments/runner), or ``other`` (stdlib and everything
+  else).
 
 The rollup is the number that matters across PRs: a perf pass aimed at
 the protocol layer should show the zk/wankeeper *share* of tottime
@@ -51,6 +52,7 @@ _GROUP_MARKERS: Tuple[Tuple[str, str], ...] = (
     ("repro/zab/", "zab"),
     ("repro/zk/", "zk"),
     ("repro/wankeeper/", "wankeeper"),
+    ("repro/fleet/", "fleet"),
     ("repro/workloads/", "workload"),
     ("repro/experiments/", "workload"),
     ("repro/runner/", "workload"),
@@ -60,7 +62,9 @@ _GROUP_MARKERS: Tuple[Tuple[str, str], ...] = (
 )
 
 #: Rollup group order for reports (stable, layer-stack order).
-GROUPS = ("kernel", "net", "zab", "zk", "wankeeper", "workload", "other")
+GROUPS = (
+    "kernel", "net", "zab", "zk", "wankeeper", "fleet", "workload", "other"
+)
 
 
 def module_group(filename: str) -> str:
@@ -168,7 +172,7 @@ def _short_path(filename: str) -> str:
 # -- targets ------------------------------------------------------------------
 
 
-_BENCH_TARGETS = ("kernel", "transport", "ycsb")
+_BENCH_TARGETS = ("kernel", "transport", "ycsb", "fleet")
 
 
 def available_targets() -> List[str]:
@@ -183,18 +187,18 @@ def _target_callable(
 ) -> Callable[[], Any]:
     """Resolve a target name to a zero-arg callable to profile.
 
-    ``bench:kernel|transport|ycsb`` (bare bench names accepted too) run
-    the corresponding bench workload; any runner suite name (fig4,
-    fig7, ablations, soak, ...) runs every cell of that suite
-    in-process, serially — the same work ``repro experiments <name>
-    --jobs 1`` does, minus rendering.
+    ``bench:kernel|transport|ycsb|fleet`` (bare bench names accepted
+    too) run the corresponding bench workload; any runner suite name
+    (fig4, fig7, ablations, soak, fleet_full, ...) runs every cell of
+    that suite in-process, serially — the same work ``repro experiments
+    <name> --jobs 1`` does, minus rendering.
     """
     name = target[len("bench:") :] if target.startswith("bench:") else target
     if name in _BENCH_TARGETS:
         from repro import bench
 
         fn = getattr(bench, f"bench_{name}")
-        if name == "ycsb":
+        if name in ("ycsb", "fleet"):
             return lambda: fn(quick=small, seed=seed)
         return lambda: fn(quick=small)
 
@@ -312,14 +316,15 @@ def main(argv=None) -> int:
         description=(
             "Profile a bench workload or runner suite under cProfile and "
             "report top hotspots plus a per-layer (kernel/net/zab/zk/"
-            "wankeeper/workload) rollup of tottime."
+            "wankeeper/fleet/workload) rollup of tottime."
         ),
     )
     parser.add_argument(
         "target",
         help=(
             "what to profile: bench:kernel, bench:transport, bench:ycsb, "
-            "or any runner suite (fig4..fig10, ablations, soak)"
+            "bench:fleet, or any runner suite (fig4..fig10, ablations, "
+            "soak, fleet_full)"
         ),
     )
     parser.add_argument(

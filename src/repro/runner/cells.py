@@ -485,6 +485,21 @@ def cell_fleet(**kwargs) -> Dict[str, Any]:
     return run_fleet(FleetSpec(**kwargs))
 
 
+def cell_fleet_full(**kwargs) -> Dict[str, Any]:
+    """One full-stack fleet cell (:mod:`repro.fleet.full`).
+
+    The open-loop fleet driver injects its ops into a *real*
+    ZK/WanKeeper deployment; parameters are
+    :class:`repro.fleet.FleetFullSpec` fields (all JSON scalars). The
+    payload excludes ``fast_forward``/``recycle_messages`` — those only
+    change wall-clock time, so a cell run with either toggle lands on
+    the same digestible result.
+    """
+    from repro.fleet import FleetFullSpec, run_fleet_full
+
+    return run_fleet_full(FleetFullSpec(**kwargs))
+
+
 def cell_fleet_topology(n_sites: int, seed: int = 42) -> Dict[str, Any]:
     """Fingerprint + shape stats of one generated fleet topology.
 
@@ -596,6 +611,7 @@ CELLS: Dict[str, Callable[..., Any]] = {
     "ablation_hub_placement": cell_ablation_hub_placement,
     "soak": cell_soak,
     "fleet": cell_fleet,
+    "fleet_full": cell_fleet_full,
     "fleet_topology": cell_fleet_topology,
     "fuzz_case": cell_fuzz_case,
     "debug_echo": cell_debug_echo,

@@ -19,7 +19,13 @@ from typing import Any, Callable, Dict, List, Tuple
 from repro.experiments.common import format_table
 from repro.runner.scenario import Scenario
 
-__all__ = ["SUITES", "build_suite", "render_suite", "suite_names"]
+__all__ = [
+    "OPT_IN_SUITE_NAMES",
+    "SUITES",
+    "build_suite",
+    "render_suite",
+    "suite_names",
+]
 
 Results = Dict[str, Any]  # scenario digest -> payload
 
@@ -840,6 +846,128 @@ def _fleet_render(small: bool, seed: int, results: Results) -> str:
     )
 
 
+# -- fleet_full (the real stack at fleet scale) -------------------------------
+
+# Which real stacks the driver is pointed at: WanKeeper on zab, flat ZK
+# on zab (hub voters + observers), flat ZK on the wpaxos multileader
+# substrate (one voter per site).
+_FLEET_FULL_STACKS = (
+    ("wankeeper", "zab"),
+    ("zk", "zab"),
+    ("zk", "wpaxos"),
+)
+
+
+def _fleet_full_params(small: bool, seed: int, system: str, substrate: str):
+    return dict(
+        n_sites=4 if small else 8,
+        sessions_per_site=50 if small else 1250,
+        duration_ms=4000.0 if small else 15000.0,
+        site_ops_per_sec=40.0,
+        system=system,
+        substrate=substrate,
+        seed=seed,
+    )
+
+
+def _fleet_full_meso_params(small: bool, seed: int) -> Dict:
+    """Mesoscale twin of the full-stack cells: same sites, sessions,
+    duration and offered load, served by the queueing model instead of
+    real servers — the crossover comparison in the renderer."""
+    return dict(
+        n_sites=4 if small else 8,
+        sessions_per_site=50 if small else 1250,
+        duration_ms=4000.0 if small else 15000.0,
+        site_ops_per_sec=40.0,
+        seed=seed,
+    )
+
+
+def _fleet_full_grid(small: bool, seed: int):
+    stack_cells = [
+        (
+            system,
+            substrate,
+            Scenario.make(
+                "fleet_full",
+                _fleet_full_params(small, seed, system, substrate),
+                suite="fleet_full",
+                label=f"{system}/{substrate}",
+            ),
+        )
+        for system, substrate in _FLEET_FULL_STACKS
+    ]
+    meso_cell = Scenario.make(
+        "fleet",
+        _fleet_full_meso_params(small, seed),
+        suite="fleet_full",
+        label="mesoscale twin",
+    )
+    return stack_cells, meso_cell
+
+
+def _fleet_full_build(small: bool, seed: int) -> List[Scenario]:
+    stack_cells, meso_cell = _fleet_full_grid(small, seed)
+    return [s for _, _, s in stack_cells] + [meso_cell]
+
+
+def _fleet_full_render(small: bool, seed: int, results: Results) -> str:
+    stack_cells, meso_cell = _fleet_full_grid(small, seed)
+    stack_rows = []
+    for system, substrate, scenario in stack_cells:
+        payload = _get(results, scenario)
+        stack_rows.append(
+            [
+                f"{system}/{substrate}",
+                payload["sessions"],
+                payload["offered_ops_per_sec"],
+                payload["throughput_ops_per_sec"],
+                payload["read_p50_ms"] or 0.0,
+                payload["write_p50_ms"] or 0.0,
+                payload["write_p99_ms"] or 0.0,
+                payload["token_migrations"],
+                payload["messages_sent"],
+            ]
+        )
+    meso = _get(results, meso_cell)
+    wk = _get(results, stack_cells[0][2])
+    compare_rows = [
+        [
+            "mesoscale",
+            meso["sessions"],
+            meso["offered_ops_per_sec"],
+            meso["throughput_ops_per_sec"],
+            meso["write_p99_ms"] or 0.0,
+            meso["token_migrations"],
+            0,
+        ],
+        [
+            "full stack",
+            wk["sessions"],
+            wk["offered_ops_per_sec"],
+            wk["throughput_ops_per_sec"],
+            wk["write_p99_ms"] or 0.0,
+            wk["token_migrations"],
+            wk["messages_sent"],
+        ],
+    ]
+    return (
+        format_table(
+            ["stack", "sessions", "offered/s", "done/s", "read p50",
+             "write p50", "write p99", "migrations", "messages"],
+            stack_rows,
+            title="Fleet full stack: real servers under the open-loop driver",
+        )
+        + "\n\n"
+        + format_table(
+            ["tier", "sessions", "offered/s", "done/s", "write p99 ms",
+             "migrations", "messages"],
+            compare_rows,
+            title="Mesoscale model vs full stack (wankeeper/zab cell)",
+        )
+    )
+
+
 # -- registry -----------------------------------------------------------------
 
 SUITES: Dict[
@@ -859,13 +987,16 @@ SUITES: Dict[
     "fig_wpaxos": (_wpaxos_build, _wpaxos_render),
     "soak": (_soak_build, _soak_render),
     "fleet": (_fleet_build, _fleet_render),
+    "fleet_full": (_fleet_full_build, _fleet_full_render),
 }
 
 #: Suites included in ``--all`` (the CLI's historical experiment set;
-#: the soak, the fleet tier and the substrate comparison are opt-in
-#: by name).
+#: the soak, the fleet tiers and the substrate comparison are opt-in
+#: by name). ``--list`` marks these as opt-in.
+OPT_IN_SUITE_NAMES = ("soak", "fleet", "fleet_full", "fig_wpaxos")
+
 DEFAULT_SUITE_NAMES = tuple(
-    sorted(name for name in SUITES if name not in ("soak", "fleet", "fig_wpaxos"))
+    sorted(name for name in SUITES if name not in OPT_IN_SUITE_NAMES)
 )
 
 

@@ -568,6 +568,39 @@ class Environment:
         else:
             self._urgent_now.append((fn, arg))
 
+    def call_at(
+        self,
+        when: float,
+        fn: Callable[[Any], None],
+        arg: Any = None,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Schedule ``fn(arg)`` at absolute time ``when``.
+
+        The absolute-time twin of :meth:`call_in`, for callers that
+        computed an exact instant: no ``when - now`` round trip (which
+        can drift by one ULP in float), no Event, no generator. The
+        fleet tier's idle-gap fast-forward leans on this: a driver that
+        scanned ahead over quiescent ticks schedules its next wake (and
+        every arrival it found) at exact instants, touching the kernel
+        once per *busy* tick instead of once per tick.
+
+        Scheduling in the past is an error; ``when == now`` lands in the
+        same-instant buckets like :meth:`call_soon`.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"call_at({when!r}) is in the past (now={self._now!r})"
+            )
+        self._seq += 1
+        if when == self._now and priority <= PRIORITY_NORMAL:
+            if priority:
+                self._normal_now.append((fn, arg))
+            else:
+                self._urgent_now.append((fn, arg))
+        else:
+            heappush(self._queue, (when, priority, self._seq, (fn, arg)))
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
         if self._urgent_now or self._normal_now:

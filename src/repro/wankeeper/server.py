@@ -1250,7 +1250,7 @@ class WanKeeperServer(ZkServer):
             WanHeartbeat(
                 self.site,
                 self.client_addr,
-                live_sessions=tuple(self.sessions.live_session_ids()),
+                live_sessions=self.sessions.live_ids_snapshot(),
                 applied_relay_seq=self._applied_relay_count,
                 owned_tokens=inventory,
             ),

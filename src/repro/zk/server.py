@@ -63,6 +63,13 @@ SESSION_EXPIRED_CODE = "session_expired"
 #: committed-log window.
 REPLY_CACHE_LIMIT = 8192
 
+#: Cap on the at-most-once test probe ``apply_counts``. The probe only has
+#: to witness duplicate applies within the reply-cache suppression window,
+#: so retaining more history than the reply cache itself buys nothing —
+#: but leaving it unbounded made replica memory grow with total committed
+#: writes, which the long fleet runs can't afford.
+APPLY_COUNT_LIMIT = 2 * REPLY_CACHE_LIMIT
+
 
 class ZkServer:
     """One coordination server (voter or observer) plus its client port."""
@@ -126,6 +133,8 @@ class ZkServer:
         self._reply_cache: "OrderedDict[Tuple[str, int], OpReply]" = OrderedDict()
         #: Test probe: how many times each (session_id, cxid) reached the
         #: tree on this replica; at-most-once means every count is 1.
+        #: Bounded at APPLY_COUNT_LIMIT entries (insertion-order eviction)
+        #: so it can't grow with total commits over a long fleet run.
         self.apply_counts: Dict[Tuple[str, int], int] = {}
         # Writes this server routed whose commit has not yet arrived;
         # re-routed on the session ticker when overdue (a lost forward or a
@@ -465,7 +474,11 @@ class ZkServer:
                                      self.name,
                                      {"session": txn.op.session_id})
         outcome = self._apply_txn(zxid, txn)
-        self.apply_counts[key] = self.apply_counts.get(key, 0) + 1
+        counts = self.apply_counts
+        counts[key] = counts.get(key, 0) + 1
+        if len(counts) > APPLY_COUNT_LIMIT:
+            # Insertion-order eviction (oldest first), like the reply cache.
+            del counts[next(iter(counts))]
         if self._trace is not None:
             self._trace.emit(self.env.now, "zk", "apply", self.name,
                              {"session": txn.session_id, "cxid": txn.cxid,

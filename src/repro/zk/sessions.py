@@ -65,6 +65,23 @@ class SessionTracker:
         self.owner_name = owner_name
         self._sessions: Dict[str, Session] = {}
         self._counter = 0
+        # Lower bound on the earliest instant any tracked session can
+        # expire. ``expired_sessions`` returns [] without scanning while
+        # ``now`` hasn't reached it: ``touch`` only moves deadlines later,
+        # so the bound stays valid between full scans. ``create`` lowers
+        # it; each full scan re-tightens it. Makes the per-tick expiry
+        # sweep O(1) with 10^4+ idle fleet sessions per server.
+        self._next_deadline = float("inf")
+        # client -> session_id of the *newest* session ever created for
+        # that client. Entries are never deleted (one per unique client,
+        # the same growth class as the session table), so a missing key
+        # proves no session was ever created for that client and the
+        # connect-dedup lookup stays O(1). Never iterated — lookups only —
+        # so NodeAddress keys are hash-seed safe.
+        self._by_client: Dict[Any, str] = {}
+        # Cached live_ids_snapshot() tuple; invalidated whenever live
+        # membership can change (create / mark_expired / remove).
+        self._live_snapshot: Optional[tuple] = None
 
     def create(self, client: Any, timeout_ms: float, now: float) -> Session:
         self._counter += 1
@@ -75,6 +92,11 @@ class SessionTracker:
             last_heard=now,
         )
         self._sessions[session.session_id] = session
+        self._by_client[client] = session.session_id
+        self._live_snapshot = None
+        deadline = now + timeout_ms
+        if deadline < self._next_deadline:
+            self._next_deadline = deadline
         return session
 
     def get(self, session_id: str) -> Optional[Session]:
@@ -84,15 +106,24 @@ class SessionTracker:
         """The *newest* live session of ``client``, if one exists.
 
         Lets a retried ConnectRequest (reply lost on the wire) be answered
-        idempotently instead of minting a second session. The scan order is
-        pinned: ``_sessions`` preserves creation order, and the last match
-        wins, so the answer is the most recently created live session —
-        independent of how many stale entries precede it.
+        idempotently instead of minting a second session. The common case
+        is one index lookup: ``_by_client`` points at the newest session
+        created for the client, and a later ``create`` for the same client
+        always overwrites the entry, so a live hit *is* the newest live
+        session. Only when the indexed session has expired or been removed
+        does the pinned creation-order scan (last live match wins) run —
+        it can still surface an older live session the index skipped.
         """
+        session_id = self._by_client.get(client)
+        if session_id is None:
+            return None
+        session = self._sessions.get(session_id)
+        if session is not None and not session.expired:
+            return session
         found = None
-        for session in self._sessions.values():
-            if session.client == client and not session.expired:
-                found = session
+        for candidate in self._sessions.values():
+            if candidate.client == client and not candidate.expired:
+                found = candidate
         return found
 
     def touch(self, session_id: str, now: float) -> bool:
@@ -109,22 +140,40 @@ class SessionTracker:
         The bound is strict (``>``, matching :class:`Session`'s documented
         inclusive timeout): a session whose last heartbeat landed exactly
         ``timeout_ms`` ago is still alive.
+
+        Fast path: while ``now`` is at or before the cached
+        ``_next_deadline`` lower bound, no session can have passed its
+        (strict) timeout, so the scan is skipped entirely. A scan that does
+        run re-tightens the bound from the sessions that stay live.
         """
-        if not self._sessions:
+        if not self._sessions or now <= self._next_deadline:
             return []
-        return [
-            session
-            for session in self._sessions.values()
-            if not session.expired and now - session.last_heard > session.timeout_ms
-        ]
+        due = []
+        next_deadline = float("inf")
+        for session in self._sessions.values():
+            if session.expired:
+                continue
+            if now - session.last_heard > session.timeout_ms:
+                due.append(session)
+            # Overdue sessions keep contributing their (past) deadline to
+            # the bound until the caller marks them expired, so a caller
+            # that doesn't is re-told about them on every call, exactly as
+            # the unconditional scan did.
+            deadline = session.last_heard + session.timeout_ms
+            if deadline < next_deadline:
+                next_deadline = deadline
+        self._next_deadline = next_deadline
+        return due
 
     def mark_expired(self, session_id: str) -> None:
         session = self._sessions.get(session_id)
         if session is not None:
             session.expired = True
+            self._live_snapshot = None
 
     def remove(self, session_id: str) -> None:
-        self._sessions.pop(session_id, None)
+        if self._sessions.pop(session_id, None) is not None:
+            self._live_snapshot = None
 
     def live_session_ids(self) -> List[str]:
         return sorted(
@@ -132,6 +181,21 @@ class SessionTracker:
             for session_id, session in self._sessions.items()
             if not session.expired
         )
+
+    def live_ids_snapshot(self) -> tuple:
+        """``tuple(live_session_ids())``, cached between membership changes.
+
+        WanKeeper's site tick ships the live-session list to the hub every
+        ``wan_tick_ms``; re-sorting 10^4 idle fleet sessions per tick
+        dominated the ticker, while the set almost never changes. The
+        cache is invalidated on create/expire/remove, so the value is
+        always exactly what the uncached sort would produce.
+        """
+        snapshot = self._live_snapshot
+        if snapshot is None:
+            snapshot = tuple(self.live_session_ids())
+            self._live_snapshot = snapshot
+        return snapshot
 
     def __len__(self) -> int:
         return len(self._sessions)
